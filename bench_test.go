@@ -1,0 +1,97 @@
+package repro
+
+// The benchmark harness: one benchmark per paper artifact (table,
+// figure, or ablation), each regenerating the artifact end to end on a
+// scaled-down but shape-preserving campaign. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The reported ns/op is the wall time to re-run the full experiment
+// (simulated campaigns execute on virtual time, so even the week-long
+// single-query campaign costs only real CPU, not real hours).
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig keeps each iteration around a second on one core while
+// preserving the population distributions.
+func benchConfig(seed int64) experiments.Config {
+	cfg := experiments.Default()
+	cfg.Seed = seed
+	cfg.Resolvers = 24
+	cfg.WebResolvers = 3
+	cfg.WebLoads = 1
+	cfg.WebPages = 10
+	cfg.ScanScale = 16
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchConfig(1000 + int64(i)))
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		out, err := e.Run(r)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			b.Fatalf("%s produced no report", id)
+		}
+	}
+}
+
+// BenchmarkE1ScanFunnel regenerates the §2 discovery funnel
+// (1216 DoQ resolvers -> 313 verified, scaled).
+func BenchmarkE1ScanFunnel(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2GeoDistribution regenerates Fig. 1 (continent and AS
+// distribution of the verified resolvers).
+func BenchmarkE2GeoDistribution(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3VersionShares regenerates the §3 protocol version and
+// feature shares (QUIC v1 89.1%, doq-i02 87.4%, TLS 1.3 ~99%, ...).
+func BenchmarkE3VersionShares(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Table1Sizes regenerates Table 1 (median single-query sizes
+// and sample counts).
+func BenchmarkE4Table1Sizes(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Fig2aHandshake regenerates Fig. 2a (median handshake time
+// per protocol and vantage point).
+func BenchmarkE5Fig2aHandshake(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Fig2bResolve regenerates Fig. 2b (median resolve time per
+// protocol and vantage point).
+func BenchmarkE6Fig2bResolve(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Fig3aFCP regenerates Fig. 3a (CDF of relative FCP
+// differences against DoUDP).
+func BenchmarkE7Fig3aFCP(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Fig3bPLT regenerates Fig. 3b (CDF of relative PLT
+// differences against DoUDP).
+func BenchmarkE8Fig3bPLT(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Fig4Grid regenerates Fig. 4 (the vantage-by-page PLT grid
+// with DoQ as the baseline).
+func BenchmarkE9Fig4Grid(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10NoResumption regenerates the §3.1 preliminary-work
+// comparison: handshakes without Session Resumption pay the
+// amplification-limit and Version Negotiation round trips.
+func BenchmarkE10NoResumption(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11ZeroRTT regenerates the §4 future-work ablation: resolvers
+// supporting 0-RTT shift DoQ's total response time toward DoUDP's.
+func BenchmarkE11ZeroRTT(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12DoTFix regenerates the §3.2 root-cause ablation: the DNS
+// proxy's DoT in-flight bug versus the authors' upstream fix.
+func BenchmarkE12DoTFix(b *testing.B) { benchExperiment(b, "E12") }

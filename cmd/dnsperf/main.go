@@ -1,0 +1,72 @@
+// Command dnsperf runs the single-query campaign (the paper's DNSPerf
+// methodology): cache-warming query, then a measured query on a fresh
+// session with TLS Session Resumption, the cached QUIC version and the
+// address-validation token.
+//
+// Usage:
+//
+//	dnsperf [-resolvers N] [-rounds N] [-seed N]
+//	        [-handshake] [-resolve] [-sizes] [-versions]
+//	        [-no-resumption] [-zero-rtt]
+//
+// Without selection flags it prints all four reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	resolvers := flag.Int("resolvers", 48, "verified resolver population (paper: 313)")
+	rounds := flag.Int("rounds", 1, "campaign rounds (paper: 84, every 2h for a week)")
+	seed := flag.Int64("seed", 2022, "simulation seed")
+	handshake := flag.Bool("handshake", false, "Fig. 2a handshake-time matrix")
+	resolve := flag.Bool("resolve", false, "Fig. 2b resolve-time matrix")
+	sizes := flag.Bool("sizes", false, "Table 1 size medians")
+	versions := flag.Bool("versions", false, "§3 version/feature shares")
+	noResumption := flag.Bool("no-resumption", false, "E10 ablation: cold sessions")
+	zeroRTT := flag.Bool("zero-rtt", false, "E11 ablation: 0-RTT resolvers")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	cfg.Resolvers = *resolvers
+	cfg.Rounds = *rounds
+	runner := experiments.NewRunner(cfg)
+
+	ids := []string{}
+	if *versions {
+		ids = append(ids, "E3")
+	}
+	if *sizes {
+		ids = append(ids, "E4")
+	}
+	if *handshake {
+		ids = append(ids, "E5")
+	}
+	if *resolve {
+		ids = append(ids, "E6")
+	}
+	if *noResumption {
+		ids = append(ids, "E10")
+	}
+	if *zeroRTT {
+		ids = append(ids, "E11")
+	}
+	if len(ids) == 0 {
+		ids = []string{"E3", "E4", "E5", "E6"}
+	}
+	for _, id := range ids {
+		e, _ := experiments.ByID(id)
+		out, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates every table and figure of the paper
+// (see DESIGN.md §4 for the experiment index). By default it runs all
+// twelve experiments at a fast, shape-preserving scale; -full uses the
+// paper's population sizes.
+//
+// Usage:
+//
+//	experiments [-full] [-id E4] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale campaigns (slow)")
+	id := flag.String("id", "", "run a single experiment (e.g. E4)")
+	seed := flag.Int64("seed", 0, "override the campaign seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-14s %s\n", e.ID, e.Artifact, e.About)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	runner := experiments.NewRunner(cfg)
+
+	run := experiments.All()
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *id)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+	for _, e := range run {
+		start := time.Now()
+		out, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%s) [%.1fs]\n%s\n", e.ID, e.Artifact, e.About, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,63 @@
+// Command webperf runs the web performance campaign (the paper's
+// Selenium+Chromium+DNS-proxy methodology): the Tranco top-10 pages are
+// loaded with each DNS transport as the local proxy's upstream, and the
+// relative FCP/PLT differences are reported as in Fig. 3 and Fig. 4.
+//
+// Usage:
+//
+//	webperf [-resolvers N] [-loads N] [-pages N] [-seed N]
+//	        [-fcp] [-plt] [-grid] [-dot-fixed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	resolvers := flag.Int("resolvers", 6, "resolvers per web campaign (paper: 313)")
+	loads := flag.Int("loads", 2, "measured loads per combination (paper: 4)")
+	pagesN := flag.Int("pages", 10, "number of Tranco pages")
+	seed := flag.Int64("seed", 2022, "simulation seed")
+	fcp := flag.Bool("fcp", false, "Fig. 3a FCP CDFs")
+	plt := flag.Bool("plt", false, "Fig. 3b PLT CDFs")
+	grid := flag.Bool("grid", false, "Fig. 4 vantage-by-page grid")
+	dotFixed := flag.Bool("dot-fixed", false, "E12 ablation: DoT proxy bug vs fix")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	cfg.WebResolvers = *resolvers
+	cfg.WebLoads = *loads
+	cfg.WebPages = *pagesN
+	runner := experiments.NewRunner(cfg)
+
+	ids := []string{}
+	if *fcp {
+		ids = append(ids, "E7")
+	}
+	if *plt {
+		ids = append(ids, "E8")
+	}
+	if *grid {
+		ids = append(ids, "E9")
+	}
+	if *dotFixed {
+		ids = append(ids, "E12")
+	}
+	if len(ids) == 0 {
+		ids = []string{"E7", "E8", "E9"}
+	}
+	for _, id := range ids {
+		e, _ := experiments.ByID(id)
+		out, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

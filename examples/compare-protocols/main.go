@@ -1,0 +1,99 @@
+// compare-protocols issues the paper's single-query measurement over all
+// five DNS transports against the same resolver and prints the handshake
+// and resolve times side by side — a miniature of Fig. 2 and Table 1.
+//
+// The run follows the paper's methodology: a cache-warming query first
+// (which also provisions the TLS session ticket and QUIC token), then a
+// measured query on a fresh, resumed session.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/resolver"
+	"repro/internal/tlsmini"
+)
+
+func main() {
+	u, err := resolver.NewUniverse(resolver.UniverseConfig{
+		Seed:           42,
+		ResolverCounts: map[geo.Continent]int{geo.NA: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	vp, res := u.Vantages[0], u.Resolvers[0]
+	fmt.Printf("resolver %s, path RTT %v\n\n", res.Name, u.PathRTT(vp, res))
+	fmt.Printf("%-6s  %10s  %10s  %7s  %7s  %s\n",
+		"proto", "handshake", "resolve", "hs B up", "hs B dn", "notes")
+
+	sessions := tlsmini.NewSessionCache()
+	quicSessions := dox.NewQUICSessionStore()
+
+	u.W.Go(func() {
+		for _, proto := range dox.Protocols {
+			opts := dox.Options{
+				Host:         vp.Host,
+				Resolver:     res.Addr,
+				ServerName:   res.Name,
+				SessionCache: sessions,
+				Rand:         u.Rand,
+				Now:          u.W.Now,
+			}
+			// Warming exchange: resolver cache + session state.
+			warm, err := dox.Connect(proto, opts)
+			if err != nil {
+				fmt.Printf("%-6s  warming failed: %v\n", proto, err)
+				continue
+			}
+			q := dnsmsg.NewQuery(1, "google.com", dnsmsg.TypeA)
+			warm.Query(&q)
+			if proto == dox.DoQ {
+				quicSessions.Remember(res.Addr, warm)
+			}
+			warm.Close()
+
+			// Measured exchange on a fresh (resumed) session.
+			if proto == dox.DoQ {
+				quicSessions.Apply(res.Addr, &opts)
+			}
+			c, err := dox.Connect(proto, opts)
+			if err != nil {
+				fmt.Printf("%-6s  connect failed: %v\n", proto, err)
+				continue
+			}
+			q2 := dnsmsg.NewQuery(2, "google.com", dnsmsg.TypeA)
+			start := u.W.Now()
+			if _, err := c.Query(&q2); err != nil {
+				fmt.Printf("%-6s  query failed: %v\n", proto, err)
+				c.Close()
+				continue
+			}
+			resolve := u.W.Now() - start
+			m := c.Metrics()
+			notes := ""
+			if m.UsedResumption {
+				notes += "resumed "
+			}
+			if m.UsedToken {
+				notes += "token "
+			}
+			if m.TLSVersion != 0 {
+				notes += m.TLSVersion.String()
+			}
+			fmt.Printf("%-6s  %10s  %10s  %7d  %7d  %s\n",
+				proto, round(m.HandshakeTime), round(resolve), m.HandshakeTx, m.HandshakeRx, notes)
+			c.Close()
+		}
+	})
+	u.W.Run()
+
+	fmt.Println("\nexpected shape (paper Fig. 2): DoTCP ~ DoQ ~ 1 RTT handshakes,")
+	fmt.Println("DoH ~ DoT ~ 2 RTT; resolve ~ 1 RTT for every protocol on a warm cache.")
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond / 10) }

@@ -1,0 +1,79 @@
+// webload loads modeled Tranco pages through the local DNS proxy with
+// different upstream DNS transports and prints FCP/PLT — a miniature of
+// the paper's Fig. 3/4 methodology, showing the amortization effect:
+// DoQ's handshake cost matters on a 1-query page and nearly vanishes on
+// a 9-query page because the proxy reuses the upstream session.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/dnsproxy"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/pages"
+	"repro/internal/resolver"
+)
+
+func main() {
+	u, err := resolver.NewUniverse(resolver.UniverseConfig{
+		Seed:           7,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	vp, res := u.Vantages[0], u.Resolvers[0]
+	fmt.Printf("vantage %s, resolver RTT %v\n\n", vp.Name, u.PathRTT(vp, res))
+
+	load := func(proto dox.Protocol, page *pages.Page, port uint16) (browser.Result, error) {
+		proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
+			Upstream: proto,
+			Options: dox.Options{
+				Resolver:   res.Addr,
+				ServerName: res.Name,
+				Rand:       u.Rand,
+				Now:        u.W.Now,
+			},
+			ListenPort: port,
+		})
+		if err != nil {
+			return browser.Result{}, err
+		}
+		defer proxy.Close()
+		eng := &browser.Engine{Host: vp.Host, Proxy: proxy.Addr()}
+		// Warm, reset sessions, measure — the paper's navigation pattern.
+		eng.Load(page)
+		proxy.ResetSessions()
+		return eng.Load(page), nil
+	}
+
+	u.W.Go(func() {
+		port := uint16(6000)
+		for _, pageName := range []string{"wikipedia", "youtube"} {
+			page := pages.ByName(pageName)
+			fmt.Printf("%s (%d DNS queries):\n", page.Name, page.DNSQueryCount())
+			var base time.Duration
+			for _, proto := range []dox.Protocol{dox.DoUDP, dox.DoQ, dox.DoH} {
+				port++
+				r, err := load(proto, page, port)
+				if err != nil || r.Err != nil {
+					fmt.Printf("  %-6s load failed: %v %v\n", proto, err, r.Err)
+					continue
+				}
+				diff := ""
+				if proto == dox.DoUDP {
+					base = r.PLT
+				} else if base > 0 {
+					diff = fmt.Sprintf(" (%+.1f%% vs DoUDP)", float64(r.PLT-base)/float64(base)*100)
+				}
+				fmt.Printf("  %-6s FCP %8s  PLT %8s%s\n",
+					proto, r.FCP.Round(time.Millisecond), r.PLT.Round(time.Millisecond), diff)
+			}
+			fmt.Println()
+		}
+	})
+	u.W.Run()
+}

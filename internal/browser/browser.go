@@ -1,0 +1,208 @@
+// Package browser is the page-load engine of the web performance
+// methodology: the Chromium stand-in that resolves names through the
+// local DNS proxy and loads the modeled pages, reporting First
+// Contentful Paint and Page Load Time.
+//
+// DNS resolution uses the real protocol stack (UDP to the proxy, which
+// forwards over the configured DoX upstream), including Chromium's
+// application-layer retransmission with its 5-second initial timeout —
+// the mechanism the paper identifies behind DoUDP's outlier tail.
+// Content fetches are analytic (connection setup + per-resource round
+// trip + size/bandwidth): the paper treats web content delivery as a
+// confound, not a subject, and holds it constant across DNS protocols.
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/netem"
+	"repro/internal/pages"
+	"repro/internal/sim"
+)
+
+// Chromium's stub retransmission behaviour (resolv.conf defaults).
+const (
+	stubTimeout = 5 * time.Second
+	stubRetries = 2
+)
+
+// Engine loads pages from one vantage host through a local DNS proxy.
+type Engine struct {
+	Host  *netem.Host
+	Proxy netip.AddrPort
+	// Bandwidth is the access link bandwidth in bytes/second (default
+	// 6.25 MB/s = 50 Mbit/s).
+	Bandwidth float64
+}
+
+// Result is one page load's outcome.
+type Result struct {
+	FCP        time.Duration
+	PLT        time.Duration
+	DNSQueries int
+	DNSTime    time.Duration // cumulative stub-observed resolution time
+	Err        error
+}
+
+func (e *Engine) bandwidth() float64 {
+	if e.Bandwidth == 0 {
+		return 6.25e6
+	}
+	return e.Bandwidth
+}
+
+// resolve performs one stub lookup through the proxy, with Chromium's
+// application-layer retransmission.
+func (e *Engine) resolve(name string, qid uint16) (netip.Addr, time.Duration, error) {
+	w := e.Host.World()
+	sock := e.Host.Dial(netem.ProtoUDP, 8)
+	defer sock.Close()
+	start := w.Now()
+	q := dnsmsg.NewQuery(qid, name, dnsmsg.TypeA)
+	wire := q.Encode()
+	for attempt := 0; attempt <= stubRetries; attempt++ {
+		sock.Send(e.Proxy, append([]byte(nil), wire...))
+		deadline := w.Now() + stubTimeout
+		for {
+			d, ok := sock.RecvTimeout(deadline - w.Now())
+			if !ok {
+				break // retransmit
+			}
+			resp, err := dnsmsg.Decode(d.Payload)
+			if err != nil || resp.ID != qid {
+				continue
+			}
+			addr, ok := resp.FirstA()
+			if !ok {
+				return netip.Addr{}, 0, fmt.Errorf("browser: no A record for %s", name)
+			}
+			return addr, w.Now() - start, nil
+		}
+	}
+	return netip.Addr{}, w.Now() - start, fmt.Errorf("browser: resolution of %s timed out", name)
+}
+
+// transfer models fetching size bytes over an established connection.
+func (e *Engine) transfer(originRTT time.Duration, size int) time.Duration {
+	return originRTT + time.Duration(float64(size)/e.bandwidth()*float64(time.Second))
+}
+
+// connSetup models TCP+TLS 1.3 connection establishment to the origin.
+func (e *Engine) connSetup(originRTT time.Duration) time.Duration {
+	return 2 * originRTT
+}
+
+// Load performs one cold-start navigation and reports FCP and PLT.
+//
+// Timeline (mirroring how Chromium loads a page):
+//  1. resolve the landing host (through the proxy), connect, fetch HTML;
+//  2. discover sub-resources; resolve all third-party hosts in parallel,
+//     connect per host, fetch that host's assets sequentially;
+//  3. FCP fires when the HTML and all critical assets are in, plus render
+//     time; PLT fires at onLoad, after every asset and the load handlers.
+func (e *Engine) Load(p *pages.Page) Result {
+	w := e.Host.World()
+	start := w.Now()
+	res := Result{}
+
+	addr, dnsTime, err := e.resolve(p.URL, 1)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	_ = addr
+	res.DNSQueries++
+	res.DNSTime += dnsTime
+
+	// Connect to the landing origin and fetch the HTML.
+	w.Sleep(e.connSetup(p.OriginRTT))
+	w.Sleep(e.transfer(p.OriginRTT, p.HTMLSize))
+	htmlDone := w.Now()
+
+	// Group sub-resources by host, preserving page order.
+	type hostWork struct {
+		host      string
+		resources []pages.Resource
+	}
+	var order []string
+	byHost := map[string]*hostWork{}
+	for _, r := range p.Resources {
+		hw, ok := byHost[r.Host]
+		if !ok {
+			hw = &hostWork{host: r.Host}
+			byHost[r.Host] = hw
+			order = append(order, r.Host)
+		}
+		hw.resources = append(hw.resources, r)
+	}
+
+	var criticalDone, allDone time.Duration
+	criticalDone = htmlDone
+	allDone = htmlDone
+
+	wg := sim.NewWaitGroup(w)
+	var firstErr error
+	for i, host := range order {
+		hw := byHost[host]
+		qid := uint16(i + 2)
+		wg.Add(1)
+		w.Go(func() {
+			defer wg.Done()
+			// The landing host is already resolved and connected; third
+			// parties need DNS + connection setup.
+			if hw.host != p.URL {
+				_, dt, err := e.resolve(hw.host, qid)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				res.DNSQueries++
+				res.DNSTime += dt
+				w.Sleep(e.connSetup(p.OriginRTT))
+			}
+			for _, r := range hw.resources {
+				w.Sleep(e.transfer(p.OriginRTT, r.Size))
+				if r.Critical && w.Now() > criticalDone {
+					criticalDone = w.Now()
+				}
+			}
+			if w.Now() > allDone {
+				allDone = w.Now()
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr != nil {
+		res.Err = firstErr
+		return res
+	}
+
+	res.FCP = criticalDone + p.RenderDelay - start
+	res.PLT = allDone + p.OnLoadDelay - start
+	if res.FCP > res.PLT {
+		res.FCP = res.PLT
+	}
+	return res
+}
+
+// LoadAll navigates a list of pages sequentially, returning per-page
+// results.
+func (e *Engine) LoadAll(ps []*pages.Page) ([]Result, error) {
+	out := make([]Result, 0, len(ps))
+	for _, p := range ps {
+		r := e.Load(p)
+		out = append(out, r)
+		if r.Err != nil {
+			return out, r.Err
+		}
+	}
+	return out, nil
+}
+
+var errNoProxy = errors.New("browser: engine has no proxy address")

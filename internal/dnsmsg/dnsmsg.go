@@ -1,0 +1,481 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035) with EDNS0
+// (RFC 6891): message header, questions, resource records for the types
+// the study uses, and domain-name compression on encode and decode.
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a resource record type.
+type Type uint16
+
+// Record types used by the study.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeOPT:
+		return "OPT"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a resource record class. Only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeRefused  RCode = 5
+)
+
+// Question is a query name/type/class triple.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Resource is a resource record.
+type Resource struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	// Data holds the record payload: for A/AAAA the address bytes, for
+	// CNAME/NS an encoded name is produced from Target, otherwise raw.
+	Data []byte
+	// Addr is used for A and AAAA records.
+	Addr netip.Addr
+	// Target is used for CNAME and NS records.
+	Target string
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	OpCode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+
+	Questions   []Question
+	Answers     []Resource
+	Authorities []Resource
+	Additionals []Resource
+
+	// EDNS0 reflects an OPT pseudo-record in Additionals. When UDPSize is
+	// non-zero an OPT record is appended on encode.
+	UDPSize uint16
+}
+
+// NewQuery returns a recursive query for (name, type) with the given ID
+// and an EDNS0 OPT advertising a 1232-byte UDP payload, matching common
+// stub resolver behaviour.
+func NewQuery(id uint16, name string, t Type) Message {
+	return Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: t, Class: ClassIN}},
+		UDPSize:          1232,
+	}
+}
+
+// Reply constructs a response skeleton for q (same ID and question,
+// response and recursion-available bits set).
+func Reply(q Message) Message {
+	return Message{
+		ID:                 q.ID,
+		Response:           true,
+		RecursionDesired:   q.RecursionDesired,
+		RecursionAvailable: true,
+		Questions:          append([]Question(nil), q.Questions...),
+		UDPSize:            q.UDPSize,
+	}
+}
+
+var (
+	errShortMessage = errors.New("dnsmsg: short message")
+	errBadName      = errors.New("dnsmsg: malformed name")
+	errLoop         = errors.New("dnsmsg: compression loop")
+)
+
+// Encode serializes the message to wire format.
+func (m *Message) Encode() []byte {
+	e := encoder{names: make(map[string]int)}
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.OpCode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode & 0xf)
+
+	adds := m.Additionals
+	if m.UDPSize > 0 {
+		opt := Resource{Name: ".", Type: TypeOPT, Class: Class(m.UDPSize)}
+		adds = append(append([]Resource(nil), adds...), opt)
+	}
+
+	e.u16(m.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authorities)))
+	e.u16(uint16(len(adds)))
+	for _, q := range m.Questions {
+		e.name(q.Name)
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, sec := range [][]Resource{m.Answers, m.Authorities, adds} {
+		for _, r := range sec {
+			e.resource(r)
+		}
+	}
+	return e.buf
+}
+
+type encoder struct {
+	buf   []byte
+	names map[string]int
+}
+
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// name encodes a domain name with compression against previously written
+// names.
+func (e *encoder) name(name string) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		e.buf = append(e.buf, 0)
+		return
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := e.names[suffix]; ok && off < 0x3fff {
+			e.u16(0xc000 | uint16(off))
+			return
+		}
+		if len(e.buf) < 0x3fff {
+			e.names[suffix] = len(e.buf)
+		}
+		l := labels[i]
+		if len(l) > 63 {
+			l = l[:63]
+		}
+		e.buf = append(e.buf, byte(len(l)))
+		e.buf = append(e.buf, l...)
+	}
+	e.buf = append(e.buf, 0)
+}
+
+func (e *encoder) resource(r Resource) {
+	e.name(r.Name)
+	e.u16(uint16(r.Type))
+	e.u16(uint16(r.Class))
+	e.u32(r.TTL)
+	lenAt := len(e.buf)
+	e.u16(0) // patched below
+	start := len(e.buf)
+	switch r.Type {
+	case TypeA, TypeAAAA:
+		e.buf = append(e.buf, r.Addr.AsSlice()...)
+	case TypeCNAME, TypeNS:
+		e.name(r.Target)
+	default:
+		e.buf = append(e.buf, r.Data...)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(len(e.buf)-start))
+}
+
+// Decode parses a wire-format message.
+func Decode(b []byte) (*Message, error) {
+	d := decoder{buf: b}
+	m := &Message{}
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Response = flags&(1<<15) != 0
+	m.OpCode = uint8(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xf)
+
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		t, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	secs := []*[]Resource{&m.Answers, &m.Authorities, &m.Additionals}
+	for si, sec := range secs {
+		for i := 0; i < int(counts[si+1]); i++ {
+			r, err := d.resource()
+			if err != nil {
+				return nil, err
+			}
+			if r.Type == TypeOPT {
+				m.UDPSize = uint16(r.Class)
+				continue
+			}
+			*sec = append(*sec, r)
+		}
+	}
+	return m, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, errShortMessage
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, errShortMessage
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) name() (string, error) {
+	s, next, err := d.nameAt(d.off, 0)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return s, nil
+}
+
+// nameAt decodes a possibly compressed name starting at off. It returns
+// the name and the offset just past the name's first encoding.
+func (d *decoder) nameAt(off, depth int) (string, int, error) {
+	if depth > 16 {
+		return "", 0, errLoop
+	}
+	var sb strings.Builder
+	for {
+		if off >= len(d.buf) {
+			return "", 0, errShortMessage
+		}
+		l := int(d.buf[off])
+		switch {
+		case l == 0:
+			off++
+			if sb.Len() == 0 {
+				return ".", off, nil
+			}
+			return sb.String(), off, nil
+		case l&0xc0 == 0xc0:
+			if off+2 > len(d.buf) {
+				return "", 0, errShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(d.buf[off:]) & 0x3fff)
+			if ptr >= off {
+				return "", 0, errLoop
+			}
+			rest, _, err := d.nameAt(ptr, depth+1)
+			if err != nil {
+				return "", 0, err
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			if rest != "." {
+				sb.WriteString(rest)
+			}
+			s := sb.String()
+			if s == "" {
+				s = "."
+			}
+			return s, off + 2, nil
+		case l&0xc0 != 0:
+			return "", 0, errBadName
+		default:
+			off++
+			if off+l > len(d.buf) {
+				return "", 0, errShortMessage
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(d.buf[off : off+l])
+			off += l
+		}
+	}
+}
+
+func (d *decoder) resource() (Resource, error) {
+	var r Resource
+	var err error
+	if r.Name, err = d.name(); err != nil {
+		return r, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	r.Type, r.Class, r.TTL = Type(t), Class(c), ttl
+	if d.off+int(rdlen) > len(d.buf) {
+		return r, errShortMessage
+	}
+	rdata := d.buf[d.off : d.off+int(rdlen)]
+	switch r.Type {
+	case TypeA:
+		if len(rdata) == 4 {
+			r.Addr = netip.AddrFrom4([4]byte(rdata))
+		}
+	case TypeAAAA:
+		if len(rdata) == 16 {
+			r.Addr = netip.AddrFrom16([16]byte(rdata))
+		}
+	case TypeCNAME, TypeNS:
+		target, _, err := d.nameAt(d.off, 0)
+		if err != nil {
+			return r, err
+		}
+		r.Target = target
+	default:
+		r.Data = append([]byte(nil), rdata...)
+	}
+	d.off += int(rdlen)
+	return r, nil
+}
+
+// AnswerA appends an A record answering the first question.
+func (m *Message) AnswerA(addr netip.Addr, ttl uint32) {
+	if len(m.Questions) == 0 {
+		return
+	}
+	m.Answers = append(m.Answers, Resource{
+		Name: m.Questions[0].Name, Type: TypeA, Class: ClassIN, TTL: ttl, Addr: addr,
+	})
+}
+
+// FirstA returns the first A answer's address.
+func (m *Message) FirstA() (netip.Addr, bool) {
+	for _, a := range m.Answers {
+		if a.Type == TypeA && a.Addr.IsValid() {
+			return a.Addr, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// String renders a compact dig-like summary, useful in examples.
+func (m *Message) String() string {
+	var sb strings.Builder
+	kind := "query"
+	if m.Response {
+		kind = "response"
+	}
+	fmt.Fprintf(&sb, "%s id=%d rcode=%d", kind, m.ID, m.RCode)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, " %s/%s", q.Name, q.Type)
+	}
+	for _, a := range m.Answers {
+		switch a.Type {
+		case TypeA, TypeAAAA:
+			fmt.Fprintf(&sb, " -> %s", a.Addr)
+		case TypeCNAME:
+			fmt.Fprintf(&sb, " -> CNAME %s", a.Target)
+		}
+	}
+	return sb.String()
+}

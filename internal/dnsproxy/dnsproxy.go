@@ -1,0 +1,207 @@
+// Package dnsproxy reimplements the local stub proxy of the paper's web
+// performance methodology: Chromium is pointed at a local DNS proxy that
+// forwards every query over a configured upstream DoX transport.
+//
+// Two behaviours of the original tool (AdGuard dnsproxy as used by the
+// paper) are modeled explicitly:
+//
+//   - Session carry-over: TLS session tickets, QUIC address-validation
+//     tokens and the negotiated QUIC version survive ResetSessions, so
+//     the measured navigation resumes sessions exactly as the paper's
+//     patched proxy does.
+//   - The DoT in-flight bug (paper §3.2): when a query arrives while
+//     another DoT query is still in flight, the proxy opens a new
+//     connection — repeating the full transport+TLS handshake — instead
+//     of reusing the existing one. The paper found this affected almost
+//     60% of DoT page loads and disregarded DoT in its web analysis; the
+//     fix (contributed upstream by the authors) is the FixDoTReuse
+//     toggle, ablated in experiment E12.
+package dnsproxy
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tlsmini"
+)
+
+// Config parameterizes a proxy instance.
+type Config struct {
+	// Upstream transport and resolver.
+	Upstream dox.Protocol
+	Options  dox.Options // Host is the vantage host; Resolver the upstream
+
+	// ListenPort is the local UDP port (default 5353).
+	ListenPort uint16
+
+	// FixDoTReuse applies the authors' upstream fix for the in-flight
+	// connection bug. Default false: reproduce the paper's behaviour.
+	FixDoTReuse bool
+
+	// Use0RTT makes resumed upstream sessions attempt 0-RTT (E11).
+	Use0RTT bool
+}
+
+// Proxy is a running DNS forwarder.
+type Proxy struct {
+	cfg  Config
+	host *netem.Host
+	w    *sim.World
+	sock *netem.Socket
+
+	sessions *tlsmini.SessionCache
+	quicSess *dox.QUICSessionStore
+
+	primary   dox.Client
+	ephemeral []dox.Client
+
+	// Counters for the evaluation.
+	Queries          int
+	ExtraConnections int // DoT-bug connections that repeated the handshake
+	Failures         int
+
+	closed bool
+}
+
+// New starts a proxy on the vantage host. Upstream connections are
+// established lazily on the first query, as the real tool does.
+func New(host *netem.Host, cfg Config) (*Proxy, error) {
+	if cfg.ListenPort == 0 {
+		cfg.ListenPort = 5353
+	}
+	sock, err := host.Listen(netem.ProtoUDP, cfg.ListenPort, 8)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		host:     host,
+		w:        host.World(),
+		sock:     sock,
+		sessions: tlsmini.NewSessionCache(),
+		quicSess: dox.NewQUICSessionStore(),
+	}
+	p.w.Go(p.serve)
+	return p, nil
+}
+
+// Addr returns the local address Chromium's stub should query.
+func (p *Proxy) Addr() netip.AddrPort { return p.sock.LocalAddr() }
+
+func (p *Proxy) serve() {
+	for {
+		d, ok := p.sock.Recv()
+		if !ok {
+			return
+		}
+		p.w.Go(func() { p.forward(d) })
+	}
+}
+
+func (p *Proxy) forward(d netem.Datagram) {
+	q, err := dnsmsg.Decode(d.Payload)
+	if err != nil {
+		return
+	}
+	p.Queries++
+	client, transient, err := p.client()
+	if err != nil {
+		p.Failures++
+		return
+	}
+	resp, err := client.Query(q)
+	if transient {
+		client.Close()
+	}
+	if err != nil {
+		p.Failures++
+		// Drop: the stub retransmits at its own cadence, exactly the
+		// asymmetry the paper observed between DoUDP and the others.
+		return
+	}
+	p.sock.Send(d.Src, resp.Encode())
+}
+
+// client returns the upstream session to use for the next query,
+// reproducing the DoT in-flight bug unless FixDoTReuse is set. transient
+// connections are closed after one exchange.
+func (p *Proxy) client() (c dox.Client, transient bool, err error) {
+	if p.primary != nil {
+		if p.cfg.Upstream == dox.DoT && !p.cfg.FixDoTReuse && p.primary.InFlight() > 0 {
+			// Bug: open a brand new connection (full TCP+TLS handshake)
+			// because one query is already in flight.
+			p.ExtraConnections++
+			nc, err := p.connect()
+			if err != nil {
+				return nil, false, err
+			}
+			p.ephemeral = append(p.ephemeral, nc)
+			return nc, false, nil
+		}
+		return p.primary, false, nil
+	}
+	p.primary, err = p.connect()
+	return p.primary, false, err
+}
+
+func (p *Proxy) connect() (dox.Client, error) {
+	o := p.cfg.Options
+	o.Host = p.host
+	o.SessionCache = p.sessions
+	if p.cfg.Upstream == dox.DoQ {
+		p.quicSess.Apply(o.Resolver, &o)
+		if p.cfg.Use0RTT {
+			o.OfferEarlyData = true
+		}
+	}
+	c, err := dox.Connect(p.cfg.Upstream, o)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ResetSessions closes all upstream connections while keeping resumption
+// state (tickets, tokens, negotiated versions), as the paper does between
+// the cache-warming navigation and the measurement navigation.
+func (p *Proxy) ResetSessions() {
+	if p.primary != nil {
+		if p.cfg.Upstream == dox.DoQ {
+			p.quicSess.Remember(p.cfg.Options.Resolver, p.primary)
+		}
+		p.primary.Close()
+		p.primary = nil
+	}
+	for _, c := range p.ephemeral {
+		c.Close()
+	}
+	p.ephemeral = nil
+}
+
+// UpstreamMetrics exposes the current upstream session's metrics (nil
+// before the first query).
+func (p *Proxy) UpstreamMetrics() *dox.Metrics {
+	if p.primary == nil {
+		return nil
+	}
+	return p.primary.Metrics()
+}
+
+// Close stops the proxy.
+func (p *Proxy) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.ResetSessions()
+	p.sock.Close()
+}
+
+// String describes the proxy configuration.
+func (p *Proxy) String() string {
+	return fmt.Sprintf("dnsproxy(%v -> %v)", p.cfg.Upstream, p.cfg.Options.Resolver)
+}

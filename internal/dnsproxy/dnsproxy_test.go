@@ -1,0 +1,191 @@
+package dnsproxy
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/resolver"
+	"repro/internal/sim"
+)
+
+func setup(t *testing.T, upstream dox.Protocol, mut func(*Config)) (*resolver.Universe, *Proxy) {
+	t.Helper()
+	u, err := resolver.NewUniverse(resolver.UniverseConfig{
+		Seed:           21,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
+		Loss:           0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, res := u.Vantages[0], u.Resolvers[0]
+	cfg := Config{
+		Upstream: upstream,
+		Options: dox.Options{
+			Resolver:   res.Addr,
+			ServerName: res.Name,
+			Rand:       u.Rand,
+			Now:        u.W.Now,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := New(vp.Host, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, p
+}
+
+// stubQuery performs a stub-style lookup through the proxy.
+func stubQuery(u *resolver.Universe, proxyAddr netip.AddrPort, id uint16, name string, timeout time.Duration) (*dnsmsg.Message, bool) {
+	host := u.Vantages[0].Host
+	sock := host.Dial(netem.ProtoUDP, 8)
+	defer sock.Close()
+	q := dnsmsg.NewQuery(id, name, dnsmsg.TypeA)
+	sock.Send(proxyAddr, q.Encode())
+	d, ok := sock.RecvTimeout(timeout)
+	if !ok {
+		return nil, false
+	}
+	resp, err := dnsmsg.Decode(d.Payload)
+	return resp, err == nil
+}
+
+func TestForwardsOverEachUpstream(t *testing.T) {
+	for _, proto := range dox.Protocols {
+		u, p := setup(t, proto, nil)
+		var ok bool
+		u.W.Go(func() {
+			_, ok = stubQuery(u, p.Addr(), 1, "example.org", 10*time.Second)
+		})
+		u.W.Run()
+		if !ok {
+			t.Errorf("%v: no response through proxy", proto)
+		}
+		if p.Queries != 1 {
+			t.Errorf("%v: proxy counted %d queries", proto, p.Queries)
+		}
+	}
+}
+
+func TestConnectionReuseAcrossQueries(t *testing.T) {
+	u, p := setup(t, dox.DoQ, nil)
+	var times [3]time.Duration
+	u.W.Go(func() {
+		for i := range times {
+			start := u.W.Now()
+			if _, ok := stubQuery(u, p.Addr(), uint16(i+1), "example.org", 10*time.Second); !ok {
+				t.Error("query failed")
+				return
+			}
+			times[i] = u.W.Now() - start
+		}
+	})
+	u.W.Run()
+	// First query pays the upstream handshake; later ones reuse the
+	// session and should be roughly half as slow (1 RTT vs 2).
+	if times[1] >= times[0] || times[2] >= times[0] {
+		t.Errorf("no reuse benefit: %v", times)
+	}
+}
+
+func TestResetSessionsKeepsResumptionState(t *testing.T) {
+	u, p := setup(t, dox.DoQ, nil)
+	var second *dox.Metrics
+	u.W.Go(func() {
+		if _, ok := stubQuery(u, p.Addr(), 1, "example.org", 10*time.Second); !ok {
+			t.Error("warm query failed")
+			return
+		}
+		p.ResetSessions()
+		if _, ok := stubQuery(u, p.Addr(), 2, "example.org", 10*time.Second); !ok {
+			t.Error("post-reset query failed")
+			return
+		}
+		second = p.UpstreamMetrics()
+	})
+	u.W.Run()
+	if second == nil {
+		t.Fatal("no upstream metrics")
+	}
+	if !second.UsedResumption {
+		t.Error("post-reset upstream session did not resume")
+	}
+	if !second.UsedToken {
+		t.Error("post-reset DoQ session did not reuse the address-validation token")
+	}
+}
+
+func TestDoTInFlightBugAndFix(t *testing.T) {
+	run := func(fixed bool) int {
+		u, p := setup(t, dox.DoT, func(c *Config) { c.FixDoTReuse = fixed })
+		u.W.Go(func() {
+			// Prime the primary connection.
+			stubQuery(u, p.Addr(), 1, "seed.example", 10*time.Second)
+			// Fire several concurrent queries: with the bug, in-flight
+			// detection opens extra connections.
+			wg := sim.NewWaitGroup(u.W)
+			for i := 0; i < 4; i++ {
+				i := i
+				wg.Add(1)
+				u.W.Go(func() {
+					defer wg.Done()
+					stubQuery(u, p.Addr(), uint16(10+i), "concurrent.example", 10*time.Second)
+				})
+			}
+			wg.Wait()
+		})
+		u.W.Run()
+		return p.ExtraConnections
+	}
+	if extra := run(false); extra == 0 {
+		t.Error("buggy mode opened no extra connections under concurrency")
+	}
+	if extra := run(true); extra != 0 {
+		t.Errorf("fixed mode opened %d extra connections", extra)
+	}
+}
+
+func TestUpstreamFailureCountsAsFailure(t *testing.T) {
+	u, err := resolver.NewUniverse(resolver.UniverseConfig{
+		Seed:           22,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
+		Loss:           0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := u.Vantages[0]
+	// Upstream points at an address with no resolver.
+	p, err := New(vp.Host, Config{
+		Upstream: dox.DoUDP,
+		Options: dox.Options{
+			Resolver:   netip.MustParseAddr("203.255.255.1"),
+			Rand:       u.Rand,
+			Now:        u.W.Now,
+			UDPTimeout: 200 * time.Millisecond,
+			UDPRetries: 0,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	u.W.Go(func() {
+		_, ok = stubQuery(u, p.Addr(), 1, "x.example", 2*time.Second)
+	})
+	u.W.Run()
+	if ok {
+		t.Error("stub got a response despite dead upstream")
+	}
+	if p.Failures == 0 {
+		t.Error("proxy did not count the failure")
+	}
+}

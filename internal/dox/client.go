@@ -1,0 +1,601 @@
+package dox
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/h2"
+	"repro/internal/netem"
+	"repro/internal/quic"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/tlsmini"
+)
+
+// Client is a DNS transport session against one resolver.
+type Client interface {
+	// Query performs one DNS exchange.
+	Query(q *dnsmsg.Message) (*dnsmsg.Message, error)
+	// Metrics returns the session's measurements (updated by Query).
+	Metrics() *Metrics
+	// InFlight reports queries currently awaiting a response.
+	InFlight() int
+	// Close releases the session.
+	Close()
+}
+
+// Options configures a client session.
+type Options struct {
+	Host     *netem.Host
+	Resolver netip.Addr
+
+	// Ports default to the standard ones.
+	UDPPort, TCPPort, DoTPort, DoHPort, DoQPort uint16
+
+	ServerName     string
+	SessionCache   *tlsmini.SessionCache
+	OfferEarlyData bool
+	Token          []byte   // QUIC address-validation token
+	QUICVersions   []uint32 // preference order
+	DoQALPNs       []string // offered DoQ versions; default AllDoQALPNs
+	TLSMaxVersion  tlsmini.Version
+
+	// UDPTimeout is the stub's application-layer retransmission timeout
+	// (resolv.conf default: 5 seconds). UDPRetries caps retransmissions.
+	UDPTimeout time.Duration
+	UDPRetries int
+
+	Rand *rand.Rand
+	Now  func() time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.UDPPort == 0 {
+		v.UDPPort = PortDoUDP
+	}
+	if v.TCPPort == 0 {
+		v.TCPPort = PortDoTCP
+	}
+	if v.DoTPort == 0 {
+		v.DoTPort = PortDoT
+	}
+	if v.DoHPort == 0 {
+		v.DoHPort = PortDoH
+	}
+	if v.DoQPort == 0 {
+		v.DoQPort = PortDoQ
+	}
+	if v.UDPTimeout == 0 {
+		v.UDPTimeout = 5 * time.Second
+	}
+	if v.UDPRetries == 0 {
+		v.UDPRetries = 2
+	}
+	if len(v.DoQALPNs) == 0 {
+		v.DoQALPNs = AllDoQALPNs()
+	}
+	if len(v.QUICVersions) == 0 {
+		v.QUICVersions = quic.AllVersions()
+	}
+	if v.ServerName == "" {
+		v.ServerName = v.Resolver.String()
+	}
+	return v
+}
+
+// Connect establishes a client session for the given transport. For
+// connection-oriented transports this blocks for the handshake.
+func Connect(proto Protocol, opts Options) (Client, error) {
+	o := opts.withDefaults()
+	switch proto {
+	case DoUDP:
+		return newUDPClient(o)
+	case DoTCP:
+		return newTCPClient(o)
+	case DoT:
+		return newDoTClient(o)
+	case DoH:
+		return newDoHClient(o)
+	case DoQ:
+		return newDoQClient(o)
+	}
+	return nil, fmt.Errorf("dox: unknown protocol %v", proto)
+}
+
+// --- DoUDP ---
+
+type udpClient struct {
+	o        Options
+	sock     *netem.Socket
+	raddr    netip.AddrPort
+	m        Metrics
+	inFlight int
+	pending  map[uint16]*sim.Future[*dnsmsg.Message]
+	closed   bool
+}
+
+func newUDPClient(o Options) (*udpClient, error) {
+	c := &udpClient{
+		o:       o,
+		sock:    o.Host.Dial(netem.ProtoUDP, 8),
+		raddr:   netip.AddrPortFrom(o.Resolver, o.UDPPort),
+		pending: make(map[uint16]*sim.Future[*dnsmsg.Message]),
+	}
+	o.Host.World().Go(c.readLoop)
+	return c, nil
+}
+
+func (c *udpClient) readLoop() {
+	for {
+		d, ok := c.sock.Recv()
+		if !ok {
+			for id, f := range c.pending {
+				f.Fail()
+				delete(c.pending, id)
+			}
+			return
+		}
+		resp, err := dnsmsg.Decode(d.Payload)
+		if err != nil {
+			continue
+		}
+		if f, ok := c.pending[resp.ID]; ok {
+			delete(c.pending, resp.ID)
+			f.Resolve(resp)
+		}
+	}
+}
+
+func (c *udpClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if c.closed {
+		return nil, errors.New("dox: client closed")
+	}
+	txBefore, rxBefore := c.sock.Snapshot()
+	c.inFlight++
+	defer func() { c.inFlight-- }()
+	wire := q.Encode()
+	var resp *dnsmsg.Message
+	for attempt := 0; attempt <= c.o.UDPRetries; attempt++ {
+		f := sim.NewFuture[*dnsmsg.Message](c.o.Host.World(), "doudp-query")
+		c.pending[q.ID] = f
+		c.sock.Send(c.raddr, append([]byte(nil), wire...))
+		r, ok := f.WaitTimeout(c.o.UDPTimeout)
+		if ok {
+			resp = r
+			break
+		}
+		delete(c.pending, q.ID)
+	}
+	tx, rx := c.sock.Snapshot()
+	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
+	if resp == nil {
+		return nil, errors.New("dox: DoUDP query timed out")
+	}
+	return resp, nil
+}
+
+func (c *udpClient) Metrics() *Metrics { return &c.m }
+func (c *udpClient) InFlight() int     { return c.inFlight }
+func (c *udpClient) Close() {
+	if !c.closed {
+		c.closed = true
+		c.sock.Close()
+	}
+}
+
+// --- DoTCP ---
+
+type tcpClient struct {
+	o        Options
+	raddr    netip.AddrPort
+	conn     *tcpsim.Conn
+	connUsed bool
+	m        Metrics
+	inFlight int
+	closed   bool
+}
+
+func newTCPClient(o Options) (*tcpClient, error) {
+	c := &tcpClient{o: o, raddr: netip.AddrPortFrom(o.Resolver, o.TCPPort)}
+	start := o.Now()
+	conn, err := tcpsim.Dial(o.Host, c.raddr)
+	if err != nil {
+		return nil, err
+	}
+	c.m.HandshakeTime = o.Now() - start
+	// The SYN-ACK may still be counted in flight; snapshot what we have.
+	c.m.HandshakeTx, c.m.HandshakeRx = conn.Stats()
+	c.conn = conn
+	return c, nil
+}
+
+func (c *tcpClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if c.closed {
+		return nil, errors.New("dox: client closed")
+	}
+	c.inFlight++
+	defer func() { c.inFlight-- }()
+	conn := c.conn
+	if conn == nil || c.connUsed {
+		// No resolver supports edns-tcp-keepalive (paper §3), so every
+		// query needs a fresh connection: 2 RTT per query.
+		var err error
+		conn, err = tcpsim.Dial(c.o.Host, c.raddr)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+	}
+	c.connUsed = true
+	txBefore, rxBefore := conn.Stats()
+	if err := conn.Write(prefixMessage(q.Encode())); err != nil {
+		return nil, err
+	}
+	resp, err := readPrefixedMessage(conn)
+	tx, rx := conn.Stats()
+	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
+	if err != nil {
+		return nil, err
+	}
+	conn.Close()
+	c.conn = nil
+	return resp, nil
+}
+
+func (c *tcpClient) Metrics() *Metrics { return &c.m }
+func (c *tcpClient) InFlight() int     { return c.inFlight }
+func (c *tcpClient) Close() {
+	if !c.closed {
+		c.closed = true
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	}
+}
+
+// prefixMessage adds the RFC 7766 2-byte length prefix.
+func prefixMessage(wire []byte) []byte {
+	out := make([]byte, 2, 2+len(wire))
+	out[0] = byte(len(wire) >> 8)
+	out[1] = byte(len(wire))
+	return append(out, wire...)
+}
+
+// byteStream is the minimal reader both tcpsim.Conn and tlsmini.Conn
+// satisfy.
+type byteStream interface {
+	Read() ([]byte, bool)
+}
+
+// readPrefixedMessage reads one length-prefixed DNS message.
+func readPrefixedMessage(s byteStream) (*dnsmsg.Message, error) {
+	var buf []byte
+	for {
+		if len(buf) >= 2 {
+			n := int(buf[0])<<8 | int(buf[1])
+			if len(buf) >= 2+n {
+				return dnsmsg.Decode(buf[2 : 2+n])
+			}
+		}
+		chunk, ok := s.Read()
+		if !ok {
+			return nil, errors.New("dox: connection closed mid-message")
+		}
+		buf = append(buf, chunk...)
+	}
+}
+
+// --- DoT ---
+
+type dotClient struct {
+	o        Options
+	tls      *tlsmini.Conn
+	tcpStats func() (int, int)
+	m        Metrics
+	pending  map[uint16]*sim.Future[*dnsmsg.Message]
+	inFlight int
+	closed   bool
+	rbuf     []byte
+}
+
+func newDoTClient(o Options) (*dotClient, error) {
+	raddr := netip.AddrPortFrom(o.Resolver, o.DoTPort)
+	start := o.Now()
+	tcp, err := tcpsim.Dial(o.Host, raddr)
+	if err != nil {
+		return nil, err
+	}
+	tlsConn := tlsmini.NewConn(tcp, tlsmini.Config{
+		IsClient:     true,
+		ServerName:   o.ServerName,
+		ALPN:         []string{"dot"},
+		Version:      o.TLSMaxVersion,
+		SessionCache: o.SessionCache,
+		Rand:         o.Rand,
+		Now:          o.Now,
+	})
+	if err := tlsConn.Handshake(); err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	c := &dotClient{
+		o:       o,
+		tls:     tlsConn,
+		pending: make(map[uint16]*sim.Future[*dnsmsg.Message]),
+	}
+	c.m.HandshakeTime = o.Now() - start
+	c.m.HandshakeTx, c.m.HandshakeRx = tcp.Stats()
+	c.m.TLSVersion = tlsConn.Engine().NegotiatedVersion()
+	c.m.UsedResumption = tlsConn.Engine().UsedResumption()
+	c.tcpStats = tcp.Stats
+	o.Host.World().Go(c.readLoop)
+	return c, nil
+}
+
+func (c *dotClient) readLoop() {
+	for {
+		resp, err := c.readOne()
+		if err != nil {
+			for id, f := range c.pending {
+				f.Fail()
+				delete(c.pending, id)
+			}
+			return
+		}
+		if f, ok := c.pending[resp.ID]; ok {
+			delete(c.pending, resp.ID)
+			f.Resolve(resp)
+		}
+	}
+}
+
+func (c *dotClient) readOne() (*dnsmsg.Message, error) {
+	for {
+		if len(c.rbuf) >= 2 {
+			n := int(c.rbuf[0])<<8 | int(c.rbuf[1])
+			if len(c.rbuf) >= 2+n {
+				wire := c.rbuf[2 : 2+n]
+				c.rbuf = append([]byte(nil), c.rbuf[2+n:]...)
+				return dnsmsg.Decode(wire)
+			}
+		}
+		chunk, ok := c.tls.Read()
+		if !ok {
+			return nil, errors.New("dox: DoT connection closed")
+		}
+		c.rbuf = append(c.rbuf, chunk...)
+	}
+}
+
+func (c *dotClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if c.closed {
+		return nil, errors.New("dox: client closed")
+	}
+	c.inFlight++
+	defer func() { c.inFlight-- }()
+	txBefore, rxBefore := c.tcpStats()
+	f := sim.NewFuture[*dnsmsg.Message](c.o.Host.World(), "dot-query")
+	c.pending[q.ID] = f
+	if err := c.tls.Write(prefixMessage(q.Encode())); err != nil {
+		return nil, err
+	}
+	resp, ok := f.Wait()
+	tx, rx := c.tcpStats()
+	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
+	if !ok {
+		return nil, errors.New("dox: DoT query failed")
+	}
+	return resp, nil
+}
+
+func (c *dotClient) Metrics() *Metrics { return &c.m }
+func (c *dotClient) InFlight() int     { return c.inFlight }
+func (c *dotClient) Close() {
+	if !c.closed {
+		c.closed = true
+		c.tls.Close()
+	}
+}
+
+// --- DoH ---
+
+type dohClient struct {
+	o        Options
+	h2c      *h2.ClientConn
+	tcpStats func() (int, int)
+	m        Metrics
+	inFlight int
+	closed   bool
+}
+
+func newDoHClient(o Options) (*dohClient, error) {
+	raddr := netip.AddrPortFrom(o.Resolver, o.DoHPort)
+	start := o.Now()
+	tcp, err := tcpsim.Dial(o.Host, raddr)
+	if err != nil {
+		return nil, err
+	}
+	tlsConn := tlsmini.NewConn(tcp, tlsmini.Config{
+		IsClient:     true,
+		ServerName:   o.ServerName,
+		ALPN:         []string{"h2"},
+		Version:      o.TLSMaxVersion,
+		SessionCache: o.SessionCache,
+		Rand:         o.Rand,
+		Now:          o.Now,
+	})
+	if err := tlsConn.Handshake(); err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	h2c, err := h2.NewClientConn(o.Host.World(), tlsConn)
+	if err != nil {
+		return nil, err
+	}
+	c := &dohClient{o: o, h2c: h2c, tcpStats: tcp.Stats}
+	c.m.HandshakeTime = o.Now() - start
+	c.m.HandshakeTx, c.m.HandshakeRx = tcp.Stats()
+	c.m.TLSVersion = tlsConn.Engine().NegotiatedVersion()
+	c.m.UsedResumption = tlsConn.Engine().UsedResumption()
+	return c, nil
+}
+
+func (c *dohClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if c.closed {
+		return nil, errors.New("dox: client closed")
+	}
+	c.inFlight++
+	defer func() { c.inFlight-- }()
+	txBefore, rxBefore := c.tcpStats()
+	resp, err := c.h2c.RoundTrip([]h2.Header{
+		{Name: ":method", Value: "POST"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: c.o.ServerName},
+		{Name: ":path", Value: "/dns-query"},
+		{Name: "accept", Value: "application/dns-message"},
+		{Name: "content-type", Value: "application/dns-message"},
+		{Name: "content-length", Value: fmt.Sprint(len(q.Encode()))},
+		{Name: "user-agent", Value: "repro-dnsperf/1.0"},
+	}, q.Encode())
+	tx, rx := c.tcpStats()
+	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status() != "200" {
+		return nil, fmt.Errorf("dox: DoH status %s", resp.Status())
+	}
+	return dnsmsg.Decode(resp.Body)
+}
+
+func (c *dohClient) Metrics() *Metrics { return &c.m }
+func (c *dohClient) InFlight() int     { return c.inFlight }
+func (c *dohClient) Close() {
+	if !c.closed {
+		c.closed = true
+		c.h2c.Close()
+	}
+}
+
+// --- DoQ ---
+
+type doqClient struct {
+	o        Options
+	conn     *quic.Conn
+	m        Metrics
+	inFlight int
+	closed   bool
+}
+
+func newDoQClient(o Options) (*doqClient, error) {
+	raddr := netip.AddrPortFrom(o.Resolver, o.DoQPort)
+	cfg := quic.Config{
+		ALPN:           o.DoQALPNs,
+		ServerName:     o.ServerName,
+		SessionCache:   o.SessionCache,
+		OfferEarlyData: o.OfferEarlyData,
+		Token:          o.Token,
+		Versions:       o.QUICVersions,
+		TLSVersion:     o.TLSMaxVersion,
+		Rand:           o.Rand,
+		Now:            o.Now,
+	}
+	start := o.Now()
+	var conn *quic.Conn
+	var err error
+	if o.OfferEarlyData {
+		conn, err = quic.DialEarly(o.Host, raddr, cfg)
+	} else {
+		conn, err = quic.Dial(o.Host, raddr, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &doqClient{o: o, conn: conn}
+	if !o.OfferEarlyData {
+		c.m.HandshakeTime = o.Now() - start
+		c.fillHandshakeMetrics()
+	}
+	return c, nil
+}
+
+func (c *doqClient) fillHandshakeMetrics() {
+	c.m.HandshakeTx, c.m.HandshakeRx = c.conn.HandshakeStats()
+	c.m.TLSVersion = c.conn.TLSVersion()
+	c.m.QUICVersion = c.conn.Version()
+	c.m.DoQALPN = c.conn.ALPN()
+	c.m.UsedResumption = c.conn.UsedResumption()
+	c.m.Used0RTT = c.conn.EarlyDataAccepted()
+	c.m.UsedVN = c.conn.VersionNegotiated()
+	c.m.UsedToken = len(c.o.Token) > 0
+}
+
+// WaitHandshake joins an early (0-RTT) dial.
+func (c *doqClient) WaitHandshake() error {
+	err := c.conn.WaitHandshake()
+	if err == nil {
+		c.m.HandshakeTime = c.conn.HandshakeTime()
+		c.fillHandshakeMetrics()
+	}
+	return err
+}
+
+func (c *doqClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if c.closed {
+		return nil, errors.New("dox: client closed")
+	}
+	c.inFlight++
+	defer func() { c.inFlight-- }()
+	txBefore, rxBefore := c.conn.Stats()
+	st := c.conn.OpenStream()
+	// RFC 9250: queries over DoQ use message ID 0.
+	wire := q.Encode()
+	alpn := c.conn.ALPN()
+	if alpn == "" {
+		// 0-RTT dial before handshake: frame per the offered preference.
+		alpn = c.o.DoQALPNs[0]
+	}
+	if alpnUsesLengthPrefix(alpn) {
+		st.Write(prefixMessage(wire), true)
+	} else {
+		st.Write(wire, true)
+	}
+	data, ok := st.ReadAll()
+	tx, rx := c.conn.Stats()
+	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
+	if c.m.HandshakeTime == 0 && c.conn.HandshakeTime() > 0 {
+		c.fillHandshakeMetrics()
+		c.m.HandshakeTime = c.conn.HandshakeTime()
+	}
+	if !ok {
+		return nil, errors.New("dox: DoQ stream failed")
+	}
+	if alpnUsesLengthPrefix(c.conn.ALPN()) {
+		if len(data) < 2 {
+			return nil, errors.New("dox: short DoQ response")
+		}
+		n := int(data[0])<<8 | int(data[1])
+		if len(data) < 2+n {
+			return nil, errors.New("dox: truncated DoQ response")
+		}
+		data = data[2 : 2+n]
+	}
+	return dnsmsg.Decode(data)
+}
+
+// Token returns the address-validation token the server issued.
+func (c *doqClient) Token() []byte { return c.conn.NewToken() }
+
+func (c *doqClient) Metrics() *Metrics { return &c.m }
+func (c *doqClient) InFlight() int     { return c.inFlight }
+func (c *doqClient) Close() {
+	if !c.closed {
+		c.closed = true
+		c.conn.Close()
+	}
+}

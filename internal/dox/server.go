@@ -1,0 +1,348 @@
+package dox
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/h2"
+	"repro/internal/netem"
+	"repro/internal/quic"
+	"repro/internal/tcpsim"
+	"repro/internal/tlsmini"
+)
+
+// Handler answers one DNS query. Returning nil drops the query (models a
+// resolver not responding, the source of the paper's sample-size
+// variation). Handlers run in their own sim task and may sleep to model
+// processing or recursive-lookup latency.
+type Handler func(q *dnsmsg.Message, proto Protocol, from netip.AddrPort) *dnsmsg.Message
+
+// ServerConfig configures a resolver-side transport endpoint set.
+type ServerConfig struct {
+	Handler  Handler
+	Identity *tlsmini.Identity
+
+	TicketStore           *tlsmini.TicketStore
+	DisableSessionTickets bool
+	AcceptEarlyData       bool
+	TLSVersion            tlsmini.Version // max version; VersionTLS12 forces the legacy flow
+
+	QUICVersions []uint32
+	DoQALPN      string // the single DoQ version this resolver deploys
+	TokenKey     []byte
+
+	// Ports default to the standard ones; DoQPort may be 784/8853 for
+	// early-draft deployments.
+	UDPPort, TCPPort, DoTPort, DoHPort, DoQPort uint16
+
+	Rand *rand.Rand
+	Now  func() time.Duration
+}
+
+func (c *ServerConfig) withDefaults() ServerConfig {
+	v := *c
+	if v.UDPPort == 0 {
+		v.UDPPort = PortDoUDP
+	}
+	if v.TCPPort == 0 {
+		v.TCPPort = PortDoTCP
+	}
+	if v.DoTPort == 0 {
+		v.DoTPort = PortDoT
+	}
+	if v.DoHPort == 0 {
+		v.DoHPort = PortDoH
+	}
+	if v.DoQPort == 0 {
+		v.DoQPort = PortDoQ
+	}
+	if v.DoQALPN == "" {
+		v.DoQALPN = DoQALPNRFC
+	}
+	return v
+}
+
+// Server runs the requested transports on one host.
+type Server struct {
+	host *netem.Host
+	cfg  ServerConfig
+
+	udpSock *netem.Socket
+	tcpL    *tcpsim.Listener
+	dotL    *tcpsim.Listener
+	dohL    *tcpsim.Listener
+	doqL    *quic.Listener
+}
+
+// NewServer creates a server; call the Serve* methods to enable
+// transports.
+func NewServer(host *netem.Host, cfg ServerConfig) *Server {
+	return &Server{host: host, cfg: cfg.withDefaults()}
+}
+
+// ServeUDP starts the DoUDP endpoint.
+func (s *Server) ServeUDP() error {
+	sock, err := s.host.Listen(netem.ProtoUDP, s.cfg.UDPPort, 8)
+	if err != nil {
+		return err
+	}
+	s.udpSock = sock
+	w := s.host.World()
+	w.Go(func() {
+		for {
+			d, ok := sock.Recv()
+			if !ok {
+				return
+			}
+			w.Go(func() {
+				q, err := dnsmsg.Decode(d.Payload)
+				if err != nil {
+					return
+				}
+				if resp := s.cfg.Handler(q, DoUDP, d.Src); resp != nil {
+					sock.Send(d.Src, resp.Encode())
+				}
+			})
+		}
+	})
+	return nil
+}
+
+// ServeTCP starts the DoTCP endpoint. Connections close after one
+// exchange: no public resolver supports edns-tcp-keepalive (paper §3).
+func (s *Server) ServeTCP() error {
+	l, err := tcpsim.Listen(s.host, s.cfg.TCPPort)
+	if err != nil {
+		return err
+	}
+	s.tcpL = l
+	w := s.host.World()
+	w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			w.Go(func() {
+				q, err := readPrefixedMessage(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				if resp := s.cfg.Handler(q, DoTCP, conn.RemoteAddr()); resp != nil {
+					conn.Write(prefixMessage(resp.Encode()))
+				}
+				conn.Close()
+			})
+		}
+	})
+	return nil
+}
+
+func (s *Server) tlsServerConfig(alpn []string) tlsmini.Config {
+	return tlsmini.Config{
+		ALPN:                  alpn,
+		Identity:              s.cfg.Identity,
+		Version:               s.cfg.TLSVersion,
+		TicketStore:           s.cfg.TicketStore,
+		DisableSessionTickets: s.cfg.DisableSessionTickets,
+		AcceptEarlyData:       s.cfg.AcceptEarlyData,
+		Rand:                  s.cfg.Rand,
+		Now:                   s.cfg.Now,
+	}
+}
+
+// ServeDoT starts the DoT endpoint. Connections persist across queries.
+func (s *Server) ServeDoT() error {
+	l, err := tcpsim.Listen(s.host, s.cfg.DoTPort)
+	if err != nil {
+		return err
+	}
+	s.dotL = l
+	w := s.host.World()
+	w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			w.Go(func() {
+				tls := tlsmini.NewConn(conn, s.tlsServerConfig([]string{"dot"}))
+				if err := tls.Handshake(); err != nil {
+					conn.Close()
+					return
+				}
+				var buf []byte
+				for {
+					// Extract length-prefixed queries from the TLS stream.
+					for len(buf) >= 2 {
+						n := int(buf[0])<<8 | int(buf[1])
+						if len(buf) < 2+n {
+							break
+						}
+						wire := append([]byte(nil), buf[2:2+n]...)
+						buf = append([]byte(nil), buf[2+n:]...)
+						w.Go(func() {
+							q, err := dnsmsg.Decode(wire)
+							if err != nil {
+								return
+							}
+							if resp := s.cfg.Handler(q, DoT, conn.RemoteAddr()); resp != nil {
+								tls.Write(prefixMessage(resp.Encode()))
+							}
+						})
+					}
+					chunk, ok := tls.Read()
+					if !ok {
+						conn.Close()
+						return
+					}
+					buf = append(buf, chunk...)
+				}
+			})
+		}
+	})
+	return nil
+}
+
+// ServeDoH starts the DoH endpoint (HTTP/2 over TLS).
+func (s *Server) ServeDoH() error {
+	l, err := tcpsim.Listen(s.host, s.cfg.DoHPort)
+	if err != nil {
+		return err
+	}
+	s.dohL = l
+	w := s.host.World()
+	w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			w.Go(func() {
+				tls := tlsmini.NewConn(conn, s.tlsServerConfig([]string{"h2"}))
+				if err := tls.Handshake(); err != nil {
+					conn.Close()
+					return
+				}
+				remote := conn.RemoteAddr()
+				h2.ServeConn(w, tls, func(headers []h2.Header, body []byte) ([]h2.Header, []byte) {
+					q, err := dnsmsg.Decode(body)
+					if err != nil {
+						return []h2.Header{{Name: ":status", Value: "400"}}, nil
+					}
+					resp := s.cfg.Handler(q, DoH, remote)
+					if resp == nil {
+						return []h2.Header{{Name: ":status", Value: "503"}}, nil
+					}
+					wire := resp.Encode()
+					return []h2.Header{
+						{Name: ":status", Value: "200"},
+						{Name: "content-type", Value: "application/dns-message"},
+						{Name: "cache-control", Value: "max-age=60"},
+					}, wire
+				})
+			})
+		}
+	})
+	return nil
+}
+
+// ServeDoQ starts the DoQ endpoint.
+func (s *Server) ServeDoQ() error {
+	cfg := quic.Config{
+		ALPN:                  []string{s.cfg.DoQALPN},
+		Identity:              s.cfg.Identity,
+		TicketStore:           s.cfg.TicketStore,
+		DisableSessionTickets: s.cfg.DisableSessionTickets,
+		AcceptEarlyData:       s.cfg.AcceptEarlyData,
+		// QUIC mandates TLS 1.3 (RFC 9001); a resolver's TLS 1.2
+		// limitation only affects its TCP-based transports.
+		TLSVersion: 0,
+		Versions:   s.cfg.QUICVersions,
+		TokenKey:   s.cfg.TokenKey,
+		Rand:       s.cfg.Rand,
+		Now:        s.cfg.Now,
+	}
+	l, err := quic.Listen(s.host, s.cfg.DoQPort, cfg)
+	if err != nil {
+		return err
+	}
+	s.doqL = l
+	w := s.host.World()
+	prefixed := alpnUsesLengthPrefix(s.cfg.DoQALPN)
+	w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			w.Go(func() {
+				for {
+					st, ok := conn.AcceptStream()
+					if !ok {
+						return
+					}
+					w.Go(func() {
+						data, ok := st.ReadAll()
+						if !ok {
+							return
+						}
+						if prefixed {
+							if len(data) < 2 {
+								return
+							}
+							n := int(data[0])<<8 | int(data[1])
+							if len(data) < 2+n {
+								return
+							}
+							data = data[2 : 2+n]
+						}
+						q, err := dnsmsg.Decode(data)
+						if err != nil {
+							return
+						}
+						resp := s.cfg.Handler(q, DoQ, conn.RemoteAddr())
+						if resp == nil {
+							return
+						}
+						wire := resp.Encode()
+						if prefixed {
+							st.Write(prefixMessage(wire), true)
+						} else {
+							st.Write(wire, true)
+						}
+					})
+				}
+			})
+		}
+	})
+	return nil
+}
+
+// ServeAll enables every transport, returning the first error.
+func (s *Server) ServeAll() error {
+	for _, fn := range []func() error{s.ServeUDP, s.ServeTCP, s.ServeDoT, s.ServeDoH, s.ServeDoQ} {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops all endpoints.
+func (s *Server) Close() {
+	if s.udpSock != nil {
+		s.udpSock.Close()
+	}
+	for _, l := range []*tcpsim.Listener{s.tcpL, s.dotL, s.dohL} {
+		if l != nil {
+			l.Close()
+		}
+	}
+	if s.doqL != nil {
+		s.doqL.Close()
+	}
+}

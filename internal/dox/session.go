@@ -1,0 +1,70 @@
+package dox
+
+import "net/netip"
+
+// QUICSession is the client-side state the paper's methodology carries
+// from a cache-warming connection to the measured connection: the
+// address-validation token from the NEW_TOKEN frame, the negotiated wire
+// version (so Version Negotiation is not repeated), and the negotiated
+// DoQ ALPN (so 0-RTT data can be framed correctly before the handshake
+// completes). TLS session tickets live in tlsmini.SessionCache.
+type QUICSession struct {
+	Token   []byte
+	Version uint32
+	ALPN    string
+}
+
+// QUICSessionStore keeps QUICSessions per resolver address.
+type QUICSessionStore struct {
+	m map[netip.Addr]*QUICSession
+}
+
+// NewQUICSessionStore returns an empty store.
+func NewQUICSessionStore() *QUICSessionStore {
+	return &QUICSessionStore{m: make(map[netip.Addr]*QUICSession)}
+}
+
+// Get returns the stored session state for addr, or nil.
+func (s *QUICSessionStore) Get(addr netip.Addr) *QUICSession { return s.m[addr] }
+
+// Put stores session state for addr.
+func (s *QUICSessionStore) Put(addr netip.Addr, q *QUICSession) { s.m[addr] = q }
+
+// Remember extracts reusable state from a finished DoQ client.
+func (s *QUICSessionStore) Remember(addr netip.Addr, c Client) {
+	dq, ok := c.(*doqClient)
+	if !ok {
+		return
+	}
+	q := &QUICSession{
+		Version: dq.conn.Version(),
+		ALPN:    dq.conn.ALPN(),
+	}
+	if tok := dq.conn.NewToken(); len(tok) > 0 {
+		q.Token = append([]byte(nil), tok...)
+	} else if old := s.m[addr]; old != nil {
+		// Keep a previously issued token: a connection that closed
+		// before its NEW_TOKEN arrived must not erase usable state.
+		q.Token = old.Token
+	}
+	s.m[addr] = q
+}
+
+// Apply primes Options with the stored state: token, the previously
+// negotiated version first, and the negotiated ALPN (needed for 0-RTT
+// framing).
+func (s *QUICSessionStore) Apply(addr netip.Addr, o *Options) {
+	q := s.m[addr]
+	if q == nil {
+		return
+	}
+	if len(q.Token) > 0 {
+		o.Token = append([]byte(nil), q.Token...)
+	}
+	if q.Version != 0 {
+		o.QUICVersions = []uint32{q.Version}
+	}
+	if q.ALPN != "" {
+		o.DoQALPNs = []string{q.ALPN}
+	}
+}

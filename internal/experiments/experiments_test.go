@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		Seed:         7,
+		Resolvers:    10,
+		Rounds:       1,
+		WebLoads:     1,
+		WebPages:     3,
+		WebResolvers: 2,
+		ScanScale:    32,
+		Loss:         0.001,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Artifact == "" || e.About == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, ok := ByID("E4"); !ok {
+		t.Error("ByID(E4) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) succeeded")
+	}
+}
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	r := NewRunner(tiny())
+	for _, e := range All() {
+		out, err := e.Run(r)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short report:\n%s", e.ID, out)
+		}
+		t.Logf("%s (%s):\n%s", e.ID, e.Artifact, out)
+	}
+}
+
+func TestE1FunnelNumbersExactAtTinyScale(t *testing.T) {
+	r := NewRunner(tiny())
+	out, err := runE1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With loss disabled in the scan world the funnel is exact.
+	for _, want := range []string{"DoQ verified (ALPN)", "verified DoX resolvers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in E1 output", want)
+		}
+	}
+}
+
+func TestSingleQueryCachedAcrossExperiments(t *testing.T) {
+	r := NewRunner(tiny())
+	a, err := r.SingleQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.SingleQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("single-query campaign re-ran instead of being cached")
+	}
+}

@@ -1,0 +1,174 @@
+package h2
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tlsmini"
+)
+
+// pipeStream mirrors the tlsmini test pipe.
+type pipeStream struct {
+	out *sim.Queue[[]byte]
+	in  *sim.Queue[[]byte]
+}
+
+func (p *pipeStream) Write(b []byte) error {
+	p.out.Push(append([]byte(nil), b...))
+	return nil
+}
+func (p *pipeStream) Read() ([]byte, bool) { return p.in.Pop() }
+func (p *pipeStream) Close()               { p.out.Close() }
+
+func pipe(w *sim.World) (a, b tlsmini.Stream) {
+	q1 := sim.NewQueue[[]byte](w, "h2-ab")
+	q2 := sim.NewQueue[[]byte](w, "h2-ba")
+	return &pipeStream{out: q1, in: q2}, &pipeStream{out: q2, in: q1}
+}
+
+func dohHandler(headers []Header, body []byte) ([]Header, []byte) {
+	return []Header{
+		{":status", "200"},
+		{"content-type", "application/dns-message"},
+	}, append([]byte("resp:"), body...)
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := sim.NewWorld(1)
+	cs, ss := pipe(w)
+	w.Go(func() { ServeConn(w, ss, dohHandler) })
+	var resp *Response
+	var err error
+	w.Go(func() {
+		c, cerr := NewClientConn(w, cs)
+		if cerr != nil {
+			t.Error(cerr)
+			return
+		}
+		resp, err = c.RoundTrip([]Header{
+			{":method", "POST"},
+			{":path", "/dns-query"},
+			{":authority", "resolver.example"},
+			{"content-type", "application/dns-message"},
+		}, []byte("query"))
+	})
+	w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status() != "200" {
+		t.Errorf("status = %q", resp.Status())
+	}
+	if !bytes.Equal(resp.Body, []byte("resp:query")) {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestMultipleRequestsOneConnection(t *testing.T) {
+	w := sim.NewWorld(1)
+	cs, ss := pipe(w)
+	w.Go(func() { ServeConn(w, ss, dohHandler) })
+	bodies := make([][]byte, 3)
+	w.Go(func() {
+		c, err := NewClientConn(w, cs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range bodies {
+			resp, err := c.RoundTrip([]Header{
+				{":method", "POST"},
+				{":path", "/dns-query"},
+			}, []byte{byte('a' + i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies[i] = resp.Body
+		}
+	})
+	w.Run()
+	for i, b := range bodies {
+		want := []byte{'r', 'e', 's', 'p', ':', byte('a' + i)}
+		if !bytes.Equal(b, want) {
+			t.Errorf("request %d: got %q", i, b)
+		}
+	}
+}
+
+// TestHeaderCompressionShrinksRepeatedRequests verifies the HPACK-like
+// behaviour that the paper's size analysis depends on: the first request
+// carries full literals, later identical headers compress to references.
+func TestHeaderCompressionShrinksRepeatedRequests(t *testing.T) {
+	tab := newHpackTable()
+	headers := []Header{
+		{":method", "POST"},
+		{":path", "/dns-query"},
+		{":authority", "resolver.example"},
+		{"content-type", "application/dns-message"},
+	}
+	first := tab.encode(headers)
+	second := tab.encode(headers)
+	if len(second) >= len(first) {
+		t.Errorf("second encoding (%d B) not smaller than first (%d B)", len(second), len(first))
+	}
+	if len(second) != 1+3*len(headers) {
+		t.Errorf("second encoding = %d B, want all references", len(second))
+	}
+}
+
+func TestHpackRoundTrip(t *testing.T) {
+	enc := newHpackTable()
+	dec := newHpackTable()
+	headers := []Header{{":status", "200"}, {"x", "y"}}
+	for i := 0; i < 3; i++ {
+		got, err := dec.decode(enc.encode(headers))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if len(got) != len(headers) || got[0] != headers[0] || got[1] != headers[1] {
+			t.Fatalf("round %d: got %v", i, got)
+		}
+	}
+}
+
+func TestHpackDecodeErrors(t *testing.T) {
+	dec := newHpackTable()
+	cases := [][]byte{
+		nil,
+		{2, 0xff, 0x00},       // truncated reference
+		{1, 0xff, 0x00, 0x05}, // unknown index
+		{1, 5, 'a'},           // truncated literal
+	}
+	for i, b := range cases {
+		if _, err := dec.decode(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestServerConnClosedMidRequest(t *testing.T) {
+	w := sim.NewWorld(1)
+	cs, ss := pipe(w)
+	var err error
+	w.Go(func() {
+		// Server drops the connection without answering.
+		reader := &frameReader{s: ss}
+		reader.skip(len(ClientPreface))
+		reader.next() // client SETTINGS
+		ss.Close()
+	})
+	w.Go(func() {
+		c, cerr := NewClientConn(w, cs)
+		if cerr != nil {
+			t.Error(cerr)
+			return
+		}
+		_, err = c.RoundTrip([]Header{{":method", "POST"}}, []byte("q"))
+	})
+	w.Run()
+	if err == nil {
+		t.Error("RoundTrip succeeded on a dead connection")
+	}
+}

@@ -1,0 +1,349 @@
+// Package measure implements the paper's measurement methodology — the
+// primary contribution being reproduced.
+//
+// Single query (§2, §3.1): every measurement is preceded by an identical
+// cache-warming query, which (a) puts the record in the resolver's cache
+// so the measured resolve time is not polluted by recursion, and (b)
+// provisions the TLS session ticket, the QUIC address-validation token
+// and the negotiated QUIC version. The measured connection is then a
+// fresh session that uses Session Resumption (and, per RFC 9250, the
+// token together with it), so the QUIC handshake is not inflated by
+// Version Negotiation, Address Validation, or the amplification limit.
+//
+// Web (§2, §3.2): per [vantage : resolver : protocol] combination a local
+// DNS proxy forwards Chromium's queries upstream; a cache-warming
+// navigation precedes the measured loads; proxy sessions are reset in
+// between so the measured navigation establishes new (resumed) sessions.
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsproxy"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/pages"
+	"repro/internal/resolver"
+	"repro/internal/sim"
+	"repro/internal/tlsmini"
+)
+
+// SingleQuerySample is one single-query measurement.
+type SingleQuerySample struct {
+	Vantage           string
+	VantageContinent  geo.Continent
+	ResolverIdx       int
+	ResolverContinent geo.Continent
+	Protocol          dox.Protocol
+	Round             int
+
+	Handshake time.Duration
+	Resolve   time.Duration
+	// Total is the time from starting the connection to receiving the
+	// answer. With 0-RTT the handshake and the query overlap, so Total
+	// < Handshake+Resolve.
+	Total time.Duration
+	M     dox.Metrics
+	OK    bool
+}
+
+// SingleQueryConfig parameterizes a single-query campaign.
+type SingleQueryConfig struct {
+	Universe  *resolver.Universe
+	Protocols []dox.Protocol // default: all five
+	// Rounds repeats the campaign (the paper measures every 2 hours for
+	// a week: 84 rounds).
+	Rounds int
+	// RoundInterval spaces rounds in virtual time (default 2h).
+	RoundInterval time.Duration
+	// Domain is the queried name (paper: an A record for google.com).
+	Domain string
+	// DisableResumption is the E10 ablation: the measured connection
+	// starts from a cold session (no ticket, no token) and is therefore
+	// exposed to the amplification limit.
+	DisableResumption bool
+	// Use0RTT is the E11 ablation: offer 0-RTT on resumed DoQ sessions.
+	Use0RTT bool
+	// QueryTimeout bounds one query (default 15s).
+	QueryTimeout time.Duration
+}
+
+func (c *SingleQueryConfig) defaults() {
+	if len(c.Protocols) == 0 {
+		c.Protocols = dox.Protocols
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.RoundInterval == 0 {
+		c.RoundInterval = 2 * time.Hour
+	}
+	if c.Domain == "" {
+		c.Domain = "google.com"
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 15 * time.Second
+	}
+}
+
+// RunSingleQuery executes the campaign and returns all samples. It must
+// be called from outside the Universe's world (it drives Run itself).
+func RunSingleQuery(cfg SingleQueryConfig) []SingleQuerySample {
+	cfg.defaults()
+	u := cfg.Universe
+	perVantage := make([][]SingleQuerySample, len(u.Vantages))
+	for i, vp := range u.Vantages {
+		i, vp := i, vp
+		u.W.Go(func() {
+			runner := newVantageRunner(u, vp, cfg)
+			for round := 0; round < cfg.Rounds; round++ {
+				for idx, res := range u.Resolvers {
+					for _, proto := range cfg.Protocols {
+						s := runner.measureOne(idx, res, proto)
+						s.Round = round
+						perVantage[i] = append(perVantage[i], s)
+					}
+				}
+				if round < cfg.Rounds-1 {
+					u.W.Sleep(cfg.RoundInterval)
+				}
+			}
+		})
+	}
+	u.W.Run()
+	var all []SingleQuerySample
+	for _, s := range perVantage {
+		all = append(all, s...)
+	}
+	return all
+}
+
+// vantageRunner holds the per-vantage client state (session caches carry
+// across rounds, as a long-running measurement host's would).
+type vantageRunner struct {
+	u        *resolver.Universe
+	vp       *resolver.Vantage
+	cfg      SingleQueryConfig
+	sessions *tlsmini.SessionCache
+	quicSess *dox.QUICSessionStore
+	qid      uint16
+}
+
+func newVantageRunner(u *resolver.Universe, vp *resolver.Vantage, cfg SingleQueryConfig) *vantageRunner {
+	return &vantageRunner{
+		u:        u,
+		vp:       vp,
+		cfg:      cfg,
+		sessions: tlsmini.NewSessionCache(),
+		quicSess: dox.NewQUICSessionStore(),
+	}
+}
+
+func (r *vantageRunner) options(res *resolver.Resolver, proto dox.Protocol, warming bool) dox.Options {
+	o := dox.Options{
+		Host:       r.vp.Host,
+		Resolver:   res.Addr,
+		ServerName: res.Name,
+		DoQPort:    res.DoQPort,
+		Rand:       r.u.Rand,
+		Now:        r.u.W.Now,
+	}
+	if r.cfg.DisableResumption && !warming {
+		// Cold session: fresh cache, no token, no cached version. The
+		// client still has to discover the version via VN if needed.
+		o.SessionCache = tlsmini.NewSessionCache()
+		return o
+	}
+	o.SessionCache = r.sessions
+	if proto == dox.DoQ {
+		r.quicSess.Apply(res.Addr, &o)
+		if !warming && r.cfg.Use0RTT {
+			o.OfferEarlyData = true
+		}
+	}
+	return o
+}
+
+// measureOne performs warming + measured query for one combination.
+func (r *vantageRunner) measureOne(idx int, res *resolver.Resolver, proto dox.Protocol) SingleQuerySample {
+	s := SingleQuerySample{
+		Vantage:           r.vp.Name,
+		VantageContinent:  r.vp.Continent,
+		ResolverIdx:       idx,
+		ResolverContinent: res.Place.Continent,
+		Protocol:          proto,
+	}
+	// Cache warming (also provisions ticket + token + version).
+	if !r.exchange(res, proto, true, &SingleQuerySample{}) {
+		return s
+	}
+	// Actual measurement on a fresh connection.
+	s.OK = r.exchange(res, proto, false, &s)
+	return s
+}
+
+// exchange runs one connect+query, bounded by the query timeout. It
+// reports success and fills the sample's timing fields.
+func (r *vantageRunner) exchange(res *resolver.Resolver, proto dox.Protocol, warming bool, s *SingleQuerySample) bool {
+	w := r.u.W
+	done := sim.NewFuture[bool](w, "measure-exchange")
+	w.Go(func() {
+		connStart := w.Now()
+		o := r.options(res, proto, warming)
+		c, err := dox.Connect(proto, o)
+		if err != nil {
+			done.Resolve(false)
+			return
+		}
+		defer c.Close()
+		r.qid++
+		q := dnsmsg.NewQuery(r.qid, r.cfg.Domain, dnsmsg.TypeA)
+		start := w.Now()
+		_, err = c.Query(&q)
+		if err != nil {
+			done.Resolve(false)
+			return
+		}
+		s.Resolve = w.Now() - start
+		s.Total = w.Now() - connStart
+		s.Handshake = c.Metrics().HandshakeTime
+		s.M = *c.Metrics()
+		if proto == dox.DoQ {
+			r.quicSess.Remember(res.Addr, c)
+		}
+		done.Resolve(true)
+	})
+	ok, alive := done.WaitTimeout(r.cfg.QueryTimeout)
+	return alive && ok
+}
+
+// --- Web performance campaign ---
+
+// WebSample is one page-load measurement (the median of the per-combo
+// loads is what Fig. 3 and Fig. 4 aggregate).
+type WebSample struct {
+	Vantage          string
+	VantageContinent geo.Continent
+	ResolverIdx      int
+	Protocol         dox.Protocol
+	Page             string
+	Load             int
+
+	FCP        time.Duration
+	PLT        time.Duration
+	DNSQueries int
+	OK         bool
+}
+
+// WebConfig parameterizes the web campaign.
+type WebConfig struct {
+	Universe  *resolver.Universe
+	Protocols []dox.Protocol
+	Pages     []*pages.Page
+	// Loads is the number of measured cold-start loads per combination
+	// (paper: four).
+	Loads int
+	// FixDoTReuse applies the DoT connection-reuse fix (E12); default
+	// false reproduces the paper.
+	FixDoTReuse bool
+	// Use0RTT offers 0-RTT on resumed upstream sessions (E11).
+	Use0RTT bool
+	// LoadTimeout bounds one page load (default 60s).
+	LoadTimeout time.Duration
+}
+
+func (c *WebConfig) defaults() {
+	if len(c.Protocols) == 0 {
+		c.Protocols = dox.Protocols
+	}
+	if len(c.Pages) == 0 {
+		c.Pages = pages.Top10()
+	}
+	if c.Loads == 0 {
+		c.Loads = 4
+	}
+	if c.LoadTimeout == 0 {
+		c.LoadTimeout = 60 * time.Second
+	}
+}
+
+// RunWeb executes the web campaign and returns all samples.
+func RunWeb(cfg WebConfig) []WebSample {
+	cfg.defaults()
+	u := cfg.Universe
+	perVantage := make([][]WebSample, len(u.Vantages))
+	for vpIdx, vp := range u.Vantages {
+		vp := vp
+		vpIdx := vpIdx
+		u.W.Go(func() {
+			for idx, res := range u.Resolvers {
+				for _, proto := range cfg.Protocols {
+					perVantage[vpIdx] = append(perVantage[vpIdx], runWebCombo(u, vp, vpIdx, idx, res, proto, cfg)...)
+				}
+			}
+		})
+	}
+	u.W.Run()
+	var all []WebSample
+	for _, s := range perVantage {
+		all = append(all, s...)
+	}
+	return all
+}
+
+// runWebCombo measures all pages for one [vantage:resolver:protocol].
+func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, vpIdx, idx int, res *resolver.Resolver, proto dox.Protocol, cfg WebConfig) []WebSample {
+	// A fresh proxy per combination, as the paper sets DNS Proxy up anew.
+	listenPort := uint16(10000 + vpIdx)
+	proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
+		Upstream: proto,
+		Options: dox.Options{
+			Resolver:   res.Addr,
+			ServerName: res.Name,
+			DoQPort:    res.DoQPort,
+			Rand:       u.Rand,
+			Now:        u.W.Now,
+		},
+		ListenPort:  listenPort,
+		FixDoTReuse: cfg.FixDoTReuse,
+		Use0RTT:     cfg.Use0RTT,
+	})
+	if err != nil {
+		return nil
+	}
+	defer proxy.Close()
+	eng := &browser.Engine{Host: vp.Host, Proxy: proxy.Addr()}
+
+	var out []WebSample
+	for _, page := range cfg.Pages {
+		// Cache-warming navigation.
+		loadWithTimeout(u, eng, page, cfg.LoadTimeout)
+		for load := 0; load < cfg.Loads; load++ {
+			proxy.ResetSessions()
+			r, ok := loadWithTimeout(u, eng, page, cfg.LoadTimeout)
+			s := WebSample{
+				Vantage:          vp.Name,
+				VantageContinent: vp.Continent,
+				ResolverIdx:      idx,
+				Protocol:         proto,
+				Page:             page.Name,
+				Load:             load,
+				OK:               ok && r.Err == nil,
+			}
+			if s.OK {
+				s.FCP, s.PLT, s.DNSQueries = r.FCP, r.PLT, r.DNSQueries
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func loadWithTimeout(u *resolver.Universe, eng *browser.Engine, page *pages.Page, timeout time.Duration) (browser.Result, bool) {
+	done := sim.NewFuture[browser.Result](u.W, fmt.Sprintf("webload-%s", page.Name))
+	u.W.Go(func() { done.Resolve(eng.Load(page)) })
+	return done.WaitTimeout(timeout)
+}

@@ -1,0 +1,277 @@
+// Package netem emulates an Internet of hosts exchanging datagrams over
+// paths with configurable propagation delay, jitter, loss, and MTU.
+//
+// netem sits directly on top of the sim kernel: sending a datagram
+// schedules its delivery at Now()+delay on the destination host's socket
+// queue. Transport protocols (internal/tcpsim, internal/quic) and plain
+// UDP applications all run over netem sockets.
+//
+// Byte accounting follows the paper's convention of counting IP payload
+// bytes: each socket is created with a per-datagram header overhead (8 for
+// UDP, 20 for the TCP-like transport) which is added to its Tx/Rx
+// counters. Counters can be snapshotted to split handshake bytes from
+// query/response bytes.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// PathParams describes one direction of a network path.
+type PathParams struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the independent per-datagram drop probability in [0, 1).
+	Loss float64
+	// MTU caps the datagram payload size; larger datagrams are dropped.
+	// Zero means 1500.
+	MTU int
+}
+
+// DefaultMTU is used when PathParams.MTU is zero.
+const DefaultMTU = 1500
+
+// Proto is an IP protocol number; netem keeps separate port spaces per
+// protocol, like a real host.
+type Proto uint8
+
+// The two transport protocols in use.
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// Datagram is a payload in flight between two endpoints.
+type Datagram struct {
+	Proto    Proto
+	Src, Dst netip.AddrPort
+	Payload  []byte
+}
+
+// Network is the root object: a set of hosts and the paths between them.
+type Network struct {
+	World *sim.World
+
+	hosts       map[netip.Addr]*Host
+	defaultPath PathParams
+	paths       map[pathKey]PathParams
+	rng         *rand.Rand
+
+	// Delivered and Dropped count datagrams for diagnostics.
+	Delivered, Dropped int
+}
+
+type pathKey struct{ src, dst netip.Addr }
+
+// NewNetwork creates an empty network on w. The default path (used when
+// no explicit path is configured) has 10ms delay and no loss.
+func NewNetwork(w *sim.World) *Network {
+	return &Network{
+		World:       w,
+		hosts:       make(map[netip.Addr]*Host),
+		defaultPath: PathParams{Delay: 10 * time.Millisecond},
+		paths:       make(map[pathKey]PathParams),
+		rng:         rand.New(rand.NewSource(w.Rand().Int63())),
+	}
+}
+
+// SetDefaultPath sets the parameters used for host pairs without an
+// explicit path.
+func (n *Network) SetDefaultPath(p PathParams) { n.defaultPath = p }
+
+// SetPath sets the path parameters for datagrams from src to dst. Paths
+// are directional; call twice for a symmetric configuration or use
+// SetSymmetricPath.
+func (n *Network) SetPath(src, dst netip.Addr, p PathParams) {
+	n.paths[pathKey{src, dst}] = p
+}
+
+// SetSymmetricPath sets the same parameters in both directions.
+func (n *Network) SetSymmetricPath(a, b netip.Addr, p PathParams) {
+	n.SetPath(a, b, p)
+	n.SetPath(b, a, p)
+}
+
+// Path returns the effective parameters from src to dst.
+func (n *Network) Path(src, dst netip.Addr) PathParams {
+	if p, ok := n.paths[pathKey{src, dst}]; ok {
+		return p
+	}
+	return n.defaultPath
+}
+
+// Host registers (or returns the existing) host with the given address.
+func (n *Network) Host(addr netip.Addr) *Host {
+	if h, ok := n.hosts[addr]; ok {
+		return h
+	}
+	h := &Host{
+		net:           n,
+		addr:          addr,
+		ports:         make(map[portKey]*Socket),
+		nextEphemeral: 49152,
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// send routes a datagram, applying the path model. Unknown destinations
+// and lossy drops are counted in Dropped.
+func (n *Network) send(d Datagram) {
+	p := n.Path(d.Src.Addr(), d.Dst.Addr())
+	mtu := p.MTU
+	if mtu == 0 {
+		mtu = DefaultMTU
+	}
+	if len(d.Payload) > mtu {
+		n.Dropped++
+		return
+	}
+	if p.Loss > 0 && n.rng.Float64() < p.Loss {
+		n.Dropped++
+		return
+	}
+	delay := p.Delay
+	if p.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(p.Jitter)))
+	}
+	n.World.AfterFunc(delay, func() {
+		host, ok := n.hosts[d.Dst.Addr()]
+		if !ok {
+			n.Dropped++
+			return
+		}
+		sock, ok := host.ports[portKey{d.Proto, d.Dst.Port()}]
+		if !ok {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		sock.deliver(d)
+	})
+}
+
+// Host is a network endpoint with per-protocol port spaces.
+type Host struct {
+	net           *Network
+	addr          netip.Addr
+	ports         map[portKey]*Socket
+	nextEphemeral uint16
+}
+
+type portKey struct {
+	proto Proto
+	port  uint16
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// World returns the simulation kernel.
+func (h *Host) World() *sim.World { return h.net.World }
+
+// Listen binds a socket to the given protocol and port. overhead is the
+// per-datagram header size added to byte counters (8 for UDP; 0 for TCP,
+// whose padded segment headers carry their own overhead).
+func (h *Host) Listen(proto Proto, port uint16, overhead int) (*Socket, error) {
+	key := portKey{proto, port}
+	if _, ok := h.ports[key]; ok {
+		return nil, fmt.Errorf("netem: %d/port %d already bound on %v", proto, port, h.addr)
+	}
+	s := &Socket{
+		host:     h,
+		proto:    proto,
+		local:    netip.AddrPortFrom(h.addr, port),
+		overhead: overhead,
+		queue:    sim.NewQueue[Datagram](h.net.World, fmt.Sprintf("%v:%d", h.addr, port)),
+	}
+	h.ports[key] = s
+	return s, nil
+}
+
+// Dial binds a socket to a fresh ephemeral port.
+func (h *Host) Dial(proto Proto, overhead int) *Socket {
+	for {
+		port := h.nextEphemeral
+		h.nextEphemeral++
+		if h.nextEphemeral == 0 {
+			h.nextEphemeral = 49152
+		}
+		if _, ok := h.ports[portKey{proto, port}]; !ok {
+			s, _ := h.Listen(proto, port, overhead)
+			return s
+		}
+	}
+}
+
+// Socket is a bound datagram endpoint.
+type Socket struct {
+	host     *Host
+	proto    Proto
+	local    netip.AddrPort
+	overhead int
+	queue    *sim.Queue[Datagram]
+	closed   bool
+
+	// TxBytes and RxBytes count IP payload bytes (datagram payload plus
+	// the configured per-datagram header overhead).
+	TxBytes, RxBytes int
+	// TxDatagrams and RxDatagrams count datagrams.
+	TxDatagrams, RxDatagrams int
+}
+
+// LocalAddr returns the bound address.
+func (s *Socket) LocalAddr() netip.AddrPort { return s.local }
+
+// Send transmits payload to dst. The payload is not copied; callers must
+// not reuse the slice.
+func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
+	if s.closed {
+		return
+	}
+	s.TxBytes += len(payload) + s.overhead
+	s.TxDatagrams++
+	s.host.net.send(Datagram{Proto: s.proto, Src: s.local, Dst: dst, Payload: payload})
+}
+
+func (s *Socket) deliver(d Datagram) {
+	if s.closed {
+		return
+	}
+	s.RxBytes += len(d.Payload) + s.overhead
+	s.RxDatagrams++
+	s.queue.Push(d)
+}
+
+// Recv blocks until a datagram arrives. ok is false once the socket is
+// closed and drained.
+func (s *Socket) Recv() (Datagram, bool) { return s.queue.Pop() }
+
+// RecvTimeout is Recv with a virtual-time deadline.
+func (s *Socket) RecvTimeout(d time.Duration) (Datagram, bool) {
+	return s.queue.PopTimeout(d)
+}
+
+// Close unbinds the socket and wakes blocked receivers.
+func (s *Socket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.host.ports, portKey{s.proto, s.local.Port()})
+	s.queue.Close()
+}
+
+// Snapshot captures the current byte counters, for splitting measurement
+// phases (e.g. handshake vs. query bytes).
+func (s *Socket) Snapshot() (tx, rx int) { return s.TxBytes, s.RxBytes }

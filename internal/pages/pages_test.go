@@ -1,0 +1,86 @@
+package pages
+
+import "testing"
+
+func TestTop10QueryCountsMatchFig4(t *testing.T) {
+	want := []struct {
+		name    string
+		queries int
+	}{
+		{"wikipedia", 1}, {"instagram", 1}, {"facebook", 3}, {"linkedin", 3},
+		{"google", 5}, {"baidu", 6}, {"twitter", 6}, {"netflix", 7},
+		{"microsoft", 8}, {"youtube", 9},
+	}
+	ps := Top10()
+	if len(ps) != len(want) {
+		t.Fatalf("Top10 has %d pages", len(ps))
+	}
+	for i, w := range want {
+		if ps[i].Name != w.name {
+			t.Errorf("page %d = %s, want %s (Fig. 4 order)", i, ps[i].Name, w.name)
+		}
+		if got := ps[i].DNSQueryCount(); got != w.queries {
+			t.Errorf("%s: %d DNS queries, want %d", w.name, got, w.queries)
+		}
+	}
+}
+
+func TestLandingHostFirst(t *testing.T) {
+	for _, p := range Top10() {
+		names := p.DNSNames()
+		if len(names) == 0 || names[0] != p.URL {
+			t.Errorf("%s: DNSNames()[0] = %v, want %s", p.Name, names, p.URL)
+		}
+		seen := map[string]bool{}
+		for _, n := range names {
+			if seen[n] {
+				t.Errorf("%s: duplicate name %s", p.Name, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestEveryPageHasCriticalContent(t *testing.T) {
+	for _, p := range Top10() {
+		critical := false
+		for _, r := range p.Resources {
+			if r.Critical {
+				critical = true
+			}
+			if r.Size <= 0 {
+				t.Errorf("%s: resource with size %d", p.Name, r.Size)
+			}
+		}
+		if !critical {
+			t.Errorf("%s: no critical resource gates FCP", p.Name)
+		}
+		if p.HTMLSize <= 0 || p.RenderDelay <= 0 || p.OnLoadDelay <= 0 || p.OriginRTT <= 0 {
+			t.Errorf("%s: incomplete model: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestSimplePagesAreLight(t *testing.T) {
+	weight := func(p *Page) int {
+		total := p.HTMLSize
+		for _, r := range p.Resources {
+			total += r.Size
+		}
+		return total
+	}
+	wiki := weight(ByName("wikipedia"))
+	yt := weight(ByName("youtube"))
+	if wiki*3 > yt {
+		t.Errorf("wikipedia (%d B) not much lighter than youtube (%d B)", wiki, yt)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("wikipedia") == nil {
+		t.Error("wikipedia missing")
+	}
+	if ByName("nonexistent") != nil {
+		t.Error("ByName invented a page")
+	}
+}

@@ -1,0 +1,284 @@
+package quic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame type bytes (RFC 9000 §19, simplified set).
+const (
+	frPadding       = 0x00
+	frPing          = 0x01
+	frAck           = 0x02
+	frCrypto        = 0x06
+	frNewToken      = 0x07
+	frStreamBase    = 0x08 // 0x08..0x0f with OFF/LEN/FIN bits
+	frConnClose     = 0x1c
+	frHandshakeDone = 0x1e
+)
+
+// frame is the decoded representation of any supported frame.
+type frame struct {
+	kind byte
+
+	// ACK
+	largestAcked uint64
+	firstRange   uint64
+
+	// CRYPTO / STREAM
+	offset uint64
+	data   []byte
+
+	// STREAM
+	streamID uint64
+	fin      bool
+
+	// NEW_TOKEN
+	token []byte
+
+	// CONNECTION_CLOSE
+	errorCode uint64
+	reason    string
+
+	// PADDING
+	padLen int
+}
+
+// ackEliciting reports whether the frame requires the peer to send an
+// acknowledgement.
+func (f *frame) ackEliciting() bool {
+	switch f.kind {
+	case frAck, frPadding, frConnClose:
+		return false
+	}
+	return true
+}
+
+// retransmittable reports whether the frame's content must be recovered
+// on loss.
+func (f *frame) retransmittable() bool {
+	switch f.kind {
+	case frCrypto, frNewToken, frHandshakeDone, frPing:
+		return true
+	case frStreamBase:
+		return true
+	}
+	return false
+}
+
+func appendFrame(b []byte, f *frame) []byte {
+	switch f.kind {
+	case frPadding:
+		for i := 0; i < f.padLen; i++ {
+			b = append(b, frPadding)
+		}
+		return b
+	case frPing:
+		return append(b, frPing)
+	case frAck:
+		b = append(b, frAck)
+		b = appendVarint(b, f.largestAcked)
+		b = appendVarint(b, 0) // ack delay
+		b = appendVarint(b, 0) // additional range count
+		b = appendVarint(b, f.firstRange)
+		return b
+	case frCrypto:
+		b = append(b, frCrypto)
+		b = appendVarint(b, f.offset)
+		b = appendVarint(b, uint64(len(f.data)))
+		return append(b, f.data...)
+	case frNewToken:
+		b = append(b, frNewToken)
+		b = appendVarint(b, uint64(len(f.token)))
+		return append(b, f.token...)
+	case frStreamBase:
+		t := byte(frStreamBase | 0x04 | 0x02) // OFF and LEN always present
+		if f.fin {
+			t |= 0x01
+		}
+		b = append(b, t)
+		b = appendVarint(b, f.streamID)
+		b = appendVarint(b, f.offset)
+		b = appendVarint(b, uint64(len(f.data)))
+		return append(b, f.data...)
+	case frConnClose:
+		b = append(b, frConnClose)
+		b = appendVarint(b, f.errorCode)
+		b = appendVarint(b, 0) // offending frame type
+		b = appendVarint(b, uint64(len(f.reason)))
+		return append(b, f.reason...)
+	case frHandshakeDone:
+		return append(b, frHandshakeDone)
+	}
+	panic(fmt.Sprintf("quic: cannot encode frame kind %#x", f.kind))
+}
+
+func frameWireLen(f *frame) int {
+	switch f.kind {
+	case frPadding:
+		return f.padLen
+	case frPing, frHandshakeDone:
+		return 1
+	case frAck:
+		return 1 + varintLen(f.largestAcked) + 1 + 1 + varintLen(f.firstRange)
+	case frCrypto:
+		return 1 + varintLen(f.offset) + varintLen(uint64(len(f.data))) + len(f.data)
+	case frNewToken:
+		return 1 + varintLen(uint64(len(f.token))) + len(f.token)
+	case frStreamBase:
+		return 1 + varintLen(f.streamID) + varintLen(f.offset) +
+			varintLen(uint64(len(f.data))) + len(f.data)
+	case frConnClose:
+		return 1 + varintLen(f.errorCode) + 1 + varintLen(uint64(len(f.reason))) + len(f.reason)
+	}
+	return 0
+}
+
+var errFrame = errors.New("quic: malformed frame")
+
+// parseFrames decodes all frames in a packet payload.
+func parseFrames(b []byte) ([]*frame, error) {
+	var out []*frame
+	for len(b) > 0 {
+		t := b[0]
+		switch {
+		case t == frPadding:
+			// Coalesce a run of padding into one frame.
+			n := 0
+			for n < len(b) && b[n] == frPadding {
+				n++
+			}
+			out = append(out, &frame{kind: frPadding, padLen: n})
+			b = b[n:]
+		case t == frPing:
+			out = append(out, &frame{kind: frPing})
+			b = b[1:]
+		case t == frAck:
+			b = b[1:]
+			f := &frame{kind: frAck}
+			var n int
+			var err error
+			if f.largestAcked, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if _, n, err = readVarint(b); err != nil { // delay
+				return nil, err
+			}
+			b = b[n:]
+			var rangeCount uint64
+			if rangeCount, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if f.firstRange, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			for i := uint64(0); i < rangeCount; i++ {
+				// gap + range, both skipped (we never send them).
+				for j := 0; j < 2; j++ {
+					if _, n, err = readVarint(b); err != nil {
+						return nil, err
+					}
+					b = b[n:]
+				}
+			}
+			out = append(out, f)
+		case t == frCrypto:
+			b = b[1:]
+			f := &frame{kind: frCrypto}
+			var n int
+			var err error
+			if f.offset, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			var ln uint64
+			if ln, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if uint64(len(b)) < ln {
+				return nil, errFrame
+			}
+			f.data = append([]byte(nil), b[:ln]...)
+			b = b[ln:]
+			out = append(out, f)
+		case t == frNewToken:
+			b = b[1:]
+			f := &frame{kind: frNewToken}
+			ln, n, err := readVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if uint64(len(b)) < ln {
+				return nil, errFrame
+			}
+			f.token = append([]byte(nil), b[:ln]...)
+			b = b[ln:]
+			out = append(out, f)
+		case t >= frStreamBase && t <= frStreamBase|0x07:
+			hasOff := t&0x04 != 0
+			hasLen := t&0x02 != 0
+			f := &frame{kind: frStreamBase, fin: t&0x01 != 0}
+			b = b[1:]
+			var n int
+			var err error
+			if f.streamID, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if hasOff {
+				if f.offset, n, err = readVarint(b); err != nil {
+					return nil, err
+				}
+				b = b[n:]
+			}
+			ln := uint64(len(b))
+			if hasLen {
+				if ln, n, err = readVarint(b); err != nil {
+					return nil, err
+				}
+				b = b[n:]
+			}
+			if uint64(len(b)) < ln {
+				return nil, errFrame
+			}
+			f.data = append([]byte(nil), b[:ln]...)
+			b = b[ln:]
+			out = append(out, f)
+		case t == frConnClose:
+			b = b[1:]
+			f := &frame{kind: frConnClose}
+			var n int
+			var err error
+			if f.errorCode, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if _, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			var ln uint64
+			if ln, n, err = readVarint(b); err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if uint64(len(b)) < ln {
+				return nil, errFrame
+			}
+			f.reason = string(b[:ln])
+			b = b[ln:]
+			out = append(out, f)
+		case t == frHandshakeDone:
+			out = append(out, &frame{kind: frHandshakeDone})
+			b = b[1:]
+		default:
+			return nil, fmt.Errorf("quic: unknown frame type %#x", t)
+		}
+	}
+	return out, nil
+}

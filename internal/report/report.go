@@ -1,0 +1,108 @@
+// Package report renders the evaluation's tables and figures as text:
+// protocol-by-vantage matrices (Fig. 2), CDF summaries (Fig. 3), the
+// vantage-by-page grid (Fig. 4), and Table 1.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a simple text table builder.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CDFSummary renders an empirical CDF the way the paper's prose reads
+// Fig. 3: the fraction of samples at or below a set of thresholds, plus
+// a sparkline of the distribution between lo and hi.
+func CDFSummary(name string, c *stats.CDF, thresholds []float64, lo, hi float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s n=%-6d median=%7s  ", name, c.N(), stats.FormatPct(c.Median()))
+	for _, th := range thresholds {
+		fmt.Fprintf(&sb, "P[<=%s]=%.2f  ", stats.FormatPct(th), c.At(th))
+	}
+	// Sparkline of CDF values across the range.
+	const bins = 24
+	vals := make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(bins-1)
+		vals[i] = c.At(x)
+	}
+	sb.WriteString(stats.Sparkline(vals, 0, 1))
+	return sb.String()
+}
+
+// SortedKeys returns map keys sorted by their descending values (for
+// AS-distribution style listings).
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Pct formats n/total as a percentage string.
+func Pct(n, total int) string {
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", float64(n)*100/float64(total))
+}
+
+// Ms formats a duration-in-nanoseconds float as milliseconds with one
+// decimal, the unit of Fig. 2.
+func Ms(ns float64) string { return fmt.Sprintf("%.1f", ns/1e6) }

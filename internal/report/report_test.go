@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{
+		Title:  "title",
+		Header: []string{"col", "value"},
+	}
+	tab.Add("a", "1")
+	tab.Add("longer-name", "23456")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "col") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// Column two must start at the same offset in every row.
+	idx := strings.Index(lines[3], "1")
+	if idx < 0 || len(lines[4]) <= idx || lines[4][idx] != '2' {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCDFSummaryContainsThresholds(t *testing.T) {
+	c := stats.NewCDF([]float64{-0.1, 0, 0.1, 0.2, 0.5})
+	out := CDFSummary("DoQ", c, []float64{0, 0.2}, -0.2, 0.8)
+	for _, want := range []string{"DoQ", "n=5", "P[<=+0.0%]", "P[<=+20.0%]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestSortedKeysByValueDescending(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 3, "c": 2, "d": 3}
+	got := SortedKeys(m)
+	want := []string{"b", "d", "c", "a"} // ties break lexicographically
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1, 3); got != "33.3%" {
+		t.Errorf("Pct(1,3) = %q", got)
+	}
+	if got := Pct(5, 0); got != "0.0%" {
+		t.Errorf("Pct(5,0) = %q", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1.5e6); got != "1.5" {
+		t.Errorf("Ms = %q", got)
+	}
+}

@@ -1,0 +1,206 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/quic"
+)
+
+func TestSyntheticAddrStable(t *testing.T) {
+	a := SyntheticAddr("google.com")
+	b := SyntheticAddr("google.com")
+	if a != b {
+		t.Error("addresses differ across calls")
+	}
+	if SyntheticAddr("example.org") == a {
+		t.Error("different names map to same address")
+	}
+	if !a.Is4() {
+		t.Error("not IPv4")
+	}
+}
+
+func TestProfileDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	v1, i02, tls12, bigCert := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		p := SynthesizeProfile(rng, "r", netip.MustParseAddr("203.0.0.1"), geo.Place{}, DefaultPopulation())
+		if p.QUICVersion == quic.Version1 {
+			v1++
+		}
+		if p.DoQALPN == "doq-i02" {
+			i02++
+		}
+		if p.TLS12Only {
+			tls12++
+		}
+		if p.CertChainSize >= 4000 {
+			bigCert++
+		}
+	}
+	check := func(name string, got, wantPct, tolPct int) {
+		pct := got * 100 / n
+		if pct < wantPct-tolPct || pct > wantPct+tolPct {
+			t.Errorf("%s share = %d%%, want ~%d%%", name, pct, wantPct)
+		}
+	}
+	check("QUIC v1", v1, 89, 3)   // paper: 89.1%
+	check("doq-i02", i02, 87, 3)  // paper: 87.4%
+	check("TLS 1.2", tls12, 1, 2) // paper: ~1%
+	check("big cert", bigCert, 40, 4)
+}
+
+func TestUniverseSmokeAllProtocols(t *testing.T) {
+	u, err := NewUniverse(UniverseConfig{
+		Seed:           42,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 2, geo.NA: 1},
+		Loss:           0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Resolvers) != 3 || len(u.Vantages) != 6 {
+		t.Fatalf("universe has %d resolvers, %d vantages", len(u.Resolvers), len(u.Vantages))
+	}
+	vp := u.Vantages[0]
+	res := u.Resolvers[0]
+	results := map[dox.Protocol]bool{}
+	u.W.Go(func() {
+		for _, proto := range dox.Protocols {
+			c, err := dox.Connect(proto, dox.Options{
+				Host:         vp.Host,
+				Resolver:     res.Addr,
+				ServerName:   res.Name,
+				QUICVersions: []uint32{res.QUICVersion},
+				Rand:         u.Rand,
+				Now:          u.W.Now,
+			})
+			if err != nil {
+				t.Errorf("%v: %v", proto, err)
+				continue
+			}
+			q := dnsmsg.NewQuery(uint16(proto), "google.com", dnsmsg.TypeA)
+			resp, err := c.Query(&q)
+			if err != nil {
+				t.Errorf("%v query: %v", proto, err)
+				c.Close()
+				continue
+			}
+			_, ok := resp.FirstA()
+			results[proto] = ok
+			c.Close()
+		}
+	})
+	u.W.Run()
+	for _, proto := range dox.Protocols {
+		if !results[proto] {
+			t.Errorf("%v did not resolve", proto)
+		}
+	}
+}
+
+func TestCacheWarmingMakesSecondQueryFast(t *testing.T) {
+	u, err := NewUniverse(UniverseConfig{
+		Seed:           7,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
+		Loss:           0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, res := u.Vantages[0], u.Resolvers[0]
+	rtt := u.PathRTT(vp, res)
+	var cold, warm time.Duration
+	u.W.Go(func() {
+		c, err := dox.Connect(dox.DoUDP, dox.Options{
+			Host: vp.Host, Resolver: res.Addr, Rand: u.Rand, Now: u.W.Now,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		q := dnsmsg.NewQuery(1, "warmtest.example", dnsmsg.TypeA)
+		start := u.W.Now()
+		if _, err := c.Query(&q); err != nil {
+			t.Error(err)
+			return
+		}
+		cold = u.W.Now() - start
+		q2 := dnsmsg.NewQuery(2, "warmtest.example", dnsmsg.TypeA)
+		start = u.W.Now()
+		if _, err := c.Query(&q2); err != nil {
+			t.Error(err)
+			return
+		}
+		warm = u.W.Now() - start
+		c.Close()
+	})
+	u.W.Run()
+	if cold < rtt+res.RecursiveRTT {
+		t.Errorf("cold query %v faster than RTT+recursion (%v)", cold, rtt+res.RecursiveRTT)
+	}
+	if warm > rtt+5*time.Millisecond {
+		t.Errorf("warm query %v, want ~RTT (%v)", warm, rtt)
+	}
+	if res.CacheHits != 1 || res.CacheMisses != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", res.CacheHits, res.CacheMisses)
+	}
+}
+
+func TestScaledCountsShape(t *testing.T) {
+	c := ScaledCounts(60)
+	if c[geo.EU] < c[geo.NA] || c[geo.AS] < c[geo.NA] {
+		t.Errorf("scaling lost the EU/AS dominance: %v", c)
+	}
+	for _, cont := range geo.Continents {
+		if c[cont] < 1 {
+			t.Errorf("%v has no resolvers", cont)
+		}
+	}
+	full := ScaledCounts(313)
+	if full[geo.EU] != 130 || full[geo.AS] != 128 {
+		t.Errorf("full scale mismatch: %v", full)
+	}
+}
+
+func TestUnresponsiveness(t *testing.T) {
+	u, err := NewUniverse(UniverseConfig{
+		Seed:           3,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
+		Loss:           0,
+		Population:     PopulationParams{BigCertFraction: 0.4, ResponseRate: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, res := u.Vantages[0], u.Resolvers[0]
+	answered := 0
+	const queries = 40
+	u.W.Go(func() {
+		c, _ := dox.Connect(dox.DoUDP, dox.Options{
+			Host: vp.Host, Resolver: res.Addr, Rand: u.Rand, Now: u.W.Now,
+			UDPTimeout: 100 * time.Millisecond, UDPRetries: 1,
+		})
+		for i := 0; i < queries; i++ {
+			q := dnsmsg.NewQuery(uint16(i), "google.com", dnsmsg.TypeA)
+			if _, err := c.Query(&q); err == nil {
+				answered++
+			}
+		}
+		c.Close()
+	})
+	u.W.Run()
+	if answered < queries/4 || answered > queries {
+		t.Errorf("answered %d/%d at 50%% response rate", answered, queries)
+	}
+	if res.Dropped == 0 {
+		t.Error("resolver never dropped a query")
+	}
+}

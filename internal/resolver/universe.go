@@ -1,0 +1,116 @@
+package resolver
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Vantage is one measurement host at a geographic location.
+type Vantage struct {
+	geo.VantagePoint
+	Host *netem.Host
+}
+
+// Universe is the full simulated measurement testbed: six vantage points
+// and a population of resolvers placed per the paper's Fig. 1, wired
+// together with distance-derived path delays.
+type Universe struct {
+	W         *sim.World
+	Net       *netem.Network
+	Vantages  []*Vantage
+	Resolvers []*Resolver
+	Rand      *rand.Rand
+}
+
+// UniverseConfig parameterizes testbed construction.
+type UniverseConfig struct {
+	Seed int64
+	// ResolverCounts defaults to the paper's 313-resolver distribution.
+	// Tests and benchmarks use scaled-down counts with the same shape.
+	ResolverCounts map[geo.Continent]int
+	// Loss is the per-path datagram drop rate (default 0.3%), the source
+	// of the paper's retransmission-tail observations.
+	Loss float64
+	// Jitter is the per-path delay jitter bound (default 1ms).
+	Jitter time.Duration
+	// Population tunes profile synthesis.
+	Population PopulationParams
+	// MutateProfile lets ablations rewrite each profile before start
+	// (e.g. enable 0-RTT everywhere for E11).
+	MutateProfile func(*Profile)
+}
+
+// ScaledCounts returns the paper's continent distribution scaled to
+// roughly n resolvers (at least one per continent).
+func ScaledCounts(n int) map[geo.Continent]int {
+	out := make(map[geo.Continent]int, len(geo.VerifiedResolverCounts))
+	for c, v := range geo.VerifiedResolverCounts {
+		s := v * n / 313
+		if s < 1 {
+			s = 1
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// NewUniverse builds and starts the testbed.
+func NewUniverse(cfg UniverseConfig) (*Universe, error) {
+	if cfg.Loss == 0 {
+		cfg.Loss = 0.003
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = time.Millisecond
+	}
+	if cfg.Population == (PopulationParams{}) {
+		cfg.Population = DefaultPopulation()
+	}
+	w := sim.NewWorld(cfg.Seed)
+	net := netem.NewNetwork(w)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	u := &Universe{W: w, Net: net, Rand: rng}
+
+	for i, vp := range geo.VantagePoints() {
+		addr := netip.AddrFrom4([4]byte{10, 1, 0, byte(i + 1)})
+		host := net.Host(addr)
+		// Loopback for the local DNS proxy.
+		net.SetPath(addr, addr, netem.PathParams{Delay: 50 * time.Microsecond})
+		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: vp, Host: host})
+	}
+
+	places := geo.PlaceResolvers(rng, cfg.ResolverCounts)
+	for i, place := range places {
+		addr := netip.AddrFrom4([4]byte{203, byte(i/250) + 1, byte(i % 250), 53})
+		host := net.Host(addr)
+		prof := SynthesizeProfile(rng, fmt.Sprintf("resolver-%03d.%s.example", i, place.Continent), addr, place, cfg.Population)
+		if cfg.MutateProfile != nil {
+			cfg.MutateProfile(&prof)
+		}
+		res, err := Start(host, prof, rand.New(rand.NewSource(cfg.Seed+int64(i)+100)))
+		if err != nil {
+			return nil, err
+		}
+		u.Resolvers = append(u.Resolvers, res)
+		for _, v := range u.Vantages {
+			delay := geo.OneWayDelay(v.Coord, place.Coord)
+			u.Net.SetSymmetricPath(v.Host.Addr(), addr, netem.PathParams{
+				Delay:  delay,
+				Jitter: cfg.Jitter,
+				Loss:   cfg.Loss,
+			})
+		}
+	}
+	return u, nil
+}
+
+// PathRTT returns the configured round-trip time between a vantage and a
+// resolver (without jitter).
+func (u *Universe) PathRTT(v *Vantage, r *Resolver) time.Duration {
+	return 2 * u.Net.Path(v.Host.Addr(), r.Addr).Delay
+}

@@ -1,0 +1,460 @@
+// Package scan reimplements the paper's resolver-discovery methodology
+// (§2): a ZMap-style probe of candidate addresses on the proposed DoQ
+// ports (UDP 784, 853, 8853) using a QUIC Initial with the invalid
+// version 0 — a responding host reveals itself with a Version Negotiation
+// packet without any state being created — followed by an ALPN-verifying
+// DoQ handshake, and finally per-protocol DNSPerf-style checks that
+// produce the verified DoX funnel:
+//
+//	1216 DoQ resolvers -> DoUDP 548 / DoTCP 706 / DoT 1149 / DoH 732
+//	-> 313 supporting every protocol ("verified DoX resolvers").
+package scan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/quic"
+	"repro/internal/sim"
+	"repro/internal/tlsmini"
+)
+
+// DoQPorts are the proposed DoQ ports the paper scans.
+var DoQPorts = []uint16{784, 853, 8853}
+
+// PopulationSpec describes the synthetic scan population.
+type PopulationSpec struct {
+	// DoQResolvers respond to the QUIC probe and verify the DoQ ALPN.
+	DoQResolvers int
+	// QUICNonDoQ speak QUIC (e.g. HTTP/3 frontends) but refuse the DoQ
+	// ALPN.
+	QUICNonDoQ int
+	// Deaf addresses do not respond at all.
+	Deaf int
+	// Support gives, for each non-DoQ transport, how many of the DoQ
+	// resolvers also support it.
+	Support map[dox.Protocol]int
+	// FullIntersection is the number of resolvers supporting everything.
+	FullIntersection int
+}
+
+// PaperSpec reproduces the week-14-2022 numbers.
+func PaperSpec() PopulationSpec {
+	return PopulationSpec{
+		DoQResolvers: 1216,
+		QUICNonDoQ:   180,
+		Deaf:         300,
+		Support: map[dox.Protocol]int{
+			dox.DoUDP: 548,
+			dox.DoTCP: 706,
+			dox.DoT:   1149,
+			dox.DoH:   732,
+		},
+		FullIntersection: 313,
+	}
+}
+
+// Scaled shrinks the spec by keeping proportions (at least the
+// intersection stays consistent).
+func (s PopulationSpec) Scaled(factor int) PopulationSpec {
+	if factor <= 1 {
+		return s
+	}
+	out := PopulationSpec{
+		DoQResolvers:     s.DoQResolvers / factor,
+		QUICNonDoQ:       s.QUICNonDoQ / factor,
+		Deaf:             s.Deaf / factor,
+		Support:          map[dox.Protocol]int{},
+		FullIntersection: s.FullIntersection / factor,
+	}
+	for p, n := range s.Support {
+		out.Support[p] = n / factor
+	}
+	return out
+}
+
+// AssignSupport distributes protocol support over n DoQ resolvers such
+// that exactly spec.FullIntersection of them support all four other
+// transports and the per-protocol totals match spec.Support. No resolver
+// outside the intersection supports all four (otherwise the verified
+// count would exceed the target).
+func AssignSupport(rng *rand.Rand, spec PopulationSpec) ([]map[dox.Protocol]bool, error) {
+	n := spec.DoQResolvers
+	full := spec.FullIntersection
+	if full > n {
+		return nil, fmt.Errorf("scan: intersection %d exceeds population %d", full, n)
+	}
+	protos := []dox.Protocol{dox.DoUDP, dox.DoTCP, dox.DoT, dox.DoH}
+	remaining := map[dox.Protocol]int{}
+	for _, p := range protos {
+		r := spec.Support[p] - full
+		if r < 0 {
+			return nil, fmt.Errorf("scan: %v support %d below intersection %d", p, spec.Support[p], full)
+		}
+		if r > n-full {
+			return nil, fmt.Errorf("scan: %v support %d unsatisfiable", p, spec.Support[p])
+		}
+		remaining[p] = r
+	}
+	out := make([]map[dox.Protocol]bool, n)
+	for i := range out {
+		out[i] = map[dox.Protocol]bool{dox.DoQ: true}
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < full; i++ {
+		for _, p := range protos {
+			out[perm[i]][p] = true
+		}
+	}
+	// The rest get at most 3 of the 4 transports, drawn from those with
+	// the largest remaining need.
+	rest := perm[full:]
+	for _, idx := range rest {
+		// Order protocols by remaining need, descending.
+		order := append([]dox.Protocol(nil), protos...)
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if remaining[order[j]] > remaining[order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		assigned := 0
+		for _, p := range order {
+			if assigned == 3 || remaining[p] == 0 {
+				continue
+			}
+			// Assign greedily but probabilistically, to spread support.
+			need := 0
+			for _, q := range protos {
+				need += remaining[q]
+			}
+			if rng.Float64() < float64(remaining[p]*3)/float64(need+1) || remaining[p] >= len(rest) {
+				out[idx][p] = true
+				remaining[p]--
+				assigned++
+			}
+		}
+	}
+	// Force-place leftovers onto hosts with spare capacity.
+	for _, p := range protos {
+		for remaining[p] > 0 {
+			placed := false
+			for _, idx := range rest {
+				if out[idx][p] {
+					continue
+				}
+				count := 0
+				for _, q := range protos {
+					if out[idx][q] {
+						count++
+					}
+				}
+				if count >= 3 {
+					continue
+				}
+				out[idx][p] = true
+				remaining[p]--
+				placed = true
+				if remaining[p] == 0 {
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("scan: could not place %v support", p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Target is one scannable address.
+type Target struct {
+	Addr     netip.Addr
+	DoQPort  uint16
+	IsDoQ    bool
+	Supports map[dox.Protocol]bool
+	Place    geo.Place
+}
+
+// Population is a running set of scan targets.
+type Population struct {
+	Targets []*Target
+	Spec    PopulationSpec
+}
+
+// BuildPopulation creates and starts the target hosts on net. Targets are
+// deliberately lightweight resolvers (static answer, no recursion).
+func BuildPopulation(net *netem.Network, rng *rand.Rand, spec PopulationSpec) (*Population, error) {
+	w := net.World
+	pop := &Population{Spec: spec}
+	support, err := AssignSupport(rng, spec)
+	if err != nil {
+		return nil, err
+	}
+	places := geo.PlaceResolvers(rng, scaledGeoCounts(spec.DoQResolvers))
+	answer := func(q *dnsmsg.Message, _ dox.Protocol, _ netip.AddrPort) *dnsmsg.Message {
+		r := dnsmsg.Reply(*q)
+		r.AnswerA(netip.AddrFrom4([4]byte{198, 18, 0, 1}), 300)
+		return &r
+	}
+	next := 0
+	addrFor := func() netip.Addr {
+		a := netip.AddrFrom4([4]byte{100, byte(64 + next/60000), byte(next / 250 % 240), byte(next % 250)})
+		next++
+		return a
+	}
+	for i := 0; i < spec.DoQResolvers; i++ {
+		addr := addrFor()
+		host := net.Host(addr)
+		port := DoQPorts[1] // 853 dominates
+		switch {
+		case rng.Float64() < 0.06:
+			port = DoQPorts[0]
+		case rng.Float64() < 0.06:
+			port = DoQPorts[2]
+		}
+		tgt := &Target{
+			Addr:     addr,
+			DoQPort:  port,
+			IsDoQ:    true,
+			Supports: support[i],
+			Place:    places[i%len(places)],
+		}
+		cfg := dox.ServerConfig{
+			Handler:     answer,
+			Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("scan-%d", i), 1100),
+			TicketStore: tlsmini.NewTicketStore(),
+			DoQPort:     port,
+			Rand:        rng,
+			Now:         w.Now,
+		}
+		srv := dox.NewServer(host, cfg)
+		if err := srv.ServeDoQ(); err != nil {
+			return nil, err
+		}
+		if tgt.Supports[dox.DoUDP] {
+			if err := srv.ServeUDP(); err != nil {
+				return nil, err
+			}
+		}
+		if tgt.Supports[dox.DoTCP] {
+			if err := srv.ServeTCP(); err != nil {
+				return nil, err
+			}
+		}
+		if tgt.Supports[dox.DoT] {
+			if err := srv.ServeDoT(); err != nil {
+				return nil, err
+			}
+		}
+		if tgt.Supports[dox.DoH] {
+			if err := srv.ServeDoH(); err != nil {
+				return nil, err
+			}
+		}
+		pop.Targets = append(pop.Targets, tgt)
+	}
+	for i := 0; i < spec.QUICNonDoQ; i++ {
+		addr := addrFor()
+		host := net.Host(addr)
+		// QUIC speaker without the DoQ ALPN (an HTTP/3 frontend).
+		_, err := quic.Listen(host, 853, quic.Config{
+			ALPN:        []string{"h3"},
+			Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("h3-%d", i), 1100),
+			TicketStore: tlsmini.NewTicketStore(),
+			Rand:        rng,
+			Now:         w.Now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pop.Targets = append(pop.Targets, &Target{Addr: addr, DoQPort: 853})
+	}
+	for i := 0; i < spec.Deaf; i++ {
+		addr := addrFor()
+		net.Host(addr) // exists, but nothing listens
+		pop.Targets = append(pop.Targets, &Target{Addr: addr})
+	}
+	return pop, nil
+}
+
+func scaledGeoCounts(n int) map[geo.Continent]int {
+	out := map[geo.Continent]int{}
+	for c, v := range geo.VerifiedResolverCounts {
+		s := v * n / 313
+		if s < 1 {
+			s = 1
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// FunnelResult is the scan outcome (paper §2).
+type FunnelResult struct {
+	Probed         int
+	QUICResponsive int
+	DoQVerified    int
+	Support        map[dox.Protocol]int
+	Verified       int // full intersection
+	ByContinent    map[geo.Continent]int
+	ByASN          map[string]int
+}
+
+// Scanner runs the discovery pipeline from one host.
+type Scanner struct {
+	Host *netem.Host
+	Rand *rand.Rand
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+func (s *Scanner) timeout() time.Duration {
+	if s.ProbeTimeout == 0 {
+		return 2 * time.Second
+	}
+	return s.ProbeTimeout
+}
+
+// Run scans all targets (in parallel, ZMap style) and builds the funnel.
+func (s *Scanner) Run(pop *Population) FunnelResult {
+	w := s.Host.World()
+	res := FunnelResult{
+		Probed:      len(pop.Targets),
+		Support:     map[dox.Protocol]int{},
+		ByContinent: map[geo.Continent]int{},
+		ByASN:       map[string]int{},
+	}
+	wg := sim.NewWaitGroup(w)
+	for _, tgt := range pop.Targets {
+		tgt := tgt
+		wg.Add(1)
+		w.Go(func() {
+			defer wg.Done()
+			port, ok := s.probeQUIC(tgt)
+			if !ok {
+				return
+			}
+			res.QUICResponsive++
+			if !s.verifyDoQ(tgt, port) {
+				return
+			}
+			res.DoQVerified++
+			all := true
+			for _, proto := range []dox.Protocol{dox.DoUDP, dox.DoTCP, dox.DoT, dox.DoH} {
+				if s.checkDoX(tgt, proto) {
+					res.Support[proto]++
+				} else {
+					all = false
+				}
+			}
+			if all {
+				res.Verified++
+				res.ByContinent[tgt.Place.Continent]++
+				res.ByASN[tgt.Place.ASN]++
+			}
+		})
+	}
+	wg.Wait()
+	res.Support[dox.DoQ] = res.DoQVerified
+	return res
+}
+
+// probeQUIC sends the ZMap trick: a QUIC Initial with version 0; any
+// QUIC endpoint answers with Version Negotiation without creating state.
+func (s *Scanner) probeQUIC(tgt *Target) (uint16, bool) {
+	for _, port := range DoQPorts {
+		sock := s.Host.Dial(netem.ProtoUDP, 8)
+		probe := buildVersionProbe(s.Rand)
+		sock.Send(netip.AddrPortFrom(tgt.Addr, port), probe)
+		d, ok := sock.RecvTimeout(s.timeout())
+		sock.Close()
+		if !ok {
+			continue
+		}
+		if len(d.Payload) >= 5 && d.Payload[0]&0x80 != 0 &&
+			binary.BigEndian.Uint32(d.Payload[1:5]) == 0 {
+			return port, true
+		}
+	}
+	return 0, false
+}
+
+// buildVersionProbe crafts a long-header packet with version 0.
+func buildVersionProbe(rng *rand.Rand) []byte {
+	b := []byte{0x80}
+	b = binary.BigEndian.AppendUint32(b, 0) // invalid version
+	dcid := make([]byte, 8)
+	rng.Read(dcid)
+	b = append(b, 8)
+	b = append(b, dcid...)
+	scid := make([]byte, 8)
+	rng.Read(scid)
+	b = append(b, 8)
+	b = append(b, scid...)
+	// Pad to the minimum Initial datagram size, as ZMap's QUIC probe
+	// module does.
+	for len(b) < quic.MinInitialDatagram {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// verifyDoQ attempts a handshake offering the DoQ ALPN set.
+func (s *Scanner) verifyDoQ(tgt *Target, port uint16) bool {
+	type result struct{ ok bool }
+	f := sim.NewFuture[result](s.Host.World(), "scan-verify")
+	s.Host.World().Go(func() {
+		conn, err := quic.Dial(s.Host, netip.AddrPortFrom(tgt.Addr, port), quic.Config{
+			ALPN:       dox.AllDoQALPNs(),
+			ServerName: tgt.Addr.String(),
+			Rand:       s.Rand,
+			Now:        s.Host.World().Now,
+		})
+		if err != nil {
+			f.Resolve(result{false})
+			return
+		}
+		conn.Close()
+		f.Resolve(result{true})
+	})
+	r, ok := f.WaitTimeout(s.timeout())
+	return ok && r.ok
+}
+
+// checkDoX optimistically queries the target over one transport, like
+// the paper's DNSPerf verification.
+func (s *Scanner) checkDoX(tgt *Target, proto dox.Protocol) bool {
+	w := s.Host.World()
+	type result struct{ ok bool }
+	f := sim.NewFuture[result](w, "scan-dox")
+	w.Go(func() {
+		c, err := dox.Connect(proto, dox.Options{
+			Host:       s.Host,
+			Resolver:   tgt.Addr,
+			ServerName: tgt.Addr.String(),
+			UDPTimeout: s.timeout(),
+			UDPRetries: 0,
+			Rand:       s.Rand,
+			Now:        w.Now,
+		})
+		if err != nil {
+			f.Resolve(result{false})
+			return
+		}
+		q := dnsmsg.NewQuery(uint16(s.Rand.Intn(65536)), "example.com", dnsmsg.TypeA)
+		_, err = c.Query(&q)
+		c.Close()
+		f.Resolve(result{err == nil})
+	})
+	r, ok := f.WaitTimeout(10 * s.timeout())
+	return ok && r.ok
+}

@@ -1,0 +1,186 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO channel analogue that cooperates with the
+// virtual clock: Pop blocks the calling task on the kernel rather than on
+// the Go scheduler. Queues are the only way tasks should exchange data
+// when one side may need to wait.
+type Queue[T any] struct {
+	w       *World
+	items   []T
+	waiters []chan struct{}
+	closed  bool
+	name    string
+}
+
+// NewQueue creates an empty queue. name is used in deadlock diagnostics.
+func NewQueue[T any](w *World, name string) *Queue[T] {
+	return &Queue[T]{w: w, name: name}
+}
+
+// Push appends v and wakes one waiting Pop, if any. Push never blocks.
+// Pushing to a closed queue is a no-op.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) > 0 {
+		ch := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.w.ready(ch)
+	}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Pop removes and returns the oldest item, blocking until one is
+// available. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	for {
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.closed {
+			return v, false
+		}
+		ch := make(chan struct{})
+		q.waiters = append(q.waiters, ch)
+		q.w.block(ch, "queue.Pop("+q.name+")")
+	}
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopTimeout is Pop with a virtual-time deadline. ok is false on timeout
+// or close.
+func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	if q.closed {
+		return v, false
+	}
+	deadline := q.w.Now() + d
+	for {
+		ch := make(chan struct{})
+		q.waiters = append(q.waiters, ch)
+		timedOut := false
+		t := q.w.AfterFunc(deadline-q.w.Now(), func() {
+			timedOut = true
+			// Remove ch from waiters if still present, then wake it.
+			for i, c := range q.waiters {
+				if c == ch {
+					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+					q.w.ready(ch)
+					return
+				}
+			}
+		})
+		q.w.block(ch, "queue.PopTimeout("+q.name+")")
+		t.Stop()
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.closed || timedOut {
+			return v, false
+		}
+		// Spurious wake (another popper beat us); retry until deadline.
+		if q.w.Now() >= deadline {
+			return v, false
+		}
+	}
+}
+
+// Close marks the queue closed and wakes all waiters. Buffered items can
+// still be drained with Pop/TryPop.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, ch := range q.waiters {
+		q.w.ready(ch)
+	}
+	q.waiters = nil
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Future is a one-shot value handed from one task to another.
+type Future[T any] struct {
+	q *Queue[T]
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](w *World, name string) *Future[T] {
+	return &Future[T]{q: NewQueue[T](w, "future:"+name)}
+}
+
+// Resolve sets the value. Resolving twice is a no-op for waiters that
+// already consumed the first value.
+func (f *Future[T]) Resolve(v T) { f.q.Push(v); f.q.Close() }
+
+// Wait blocks until the future is resolved. ok is false if the future was
+// abandoned (resolved never, queue closed).
+func (f *Future[T]) Wait() (T, bool) { return f.q.Pop() }
+
+// WaitTimeout is Wait with a virtual-time deadline.
+func (f *Future[T]) WaitTimeout(d time.Duration) (T, bool) { return f.q.PopTimeout(d) }
+
+// Fail abandons the future, unblocking waiters with ok=false.
+func (f *Future[T]) Fail() { f.q.Close() }
+
+// WaitGroup tracks a set of concurrent tasks on the virtual clock.
+type WaitGroup struct {
+	w     *World
+	count int
+	done  []chan struct{}
+}
+
+// NewWaitGroup returns a WaitGroup bound to w.
+func NewWaitGroup(w *World) *WaitGroup { return &WaitGroup{w: w} }
+
+// Add increments the counter by n.
+func (g *WaitGroup) Add(n int) { g.count += n }
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (g *WaitGroup) Done() {
+	g.count--
+	if g.count <= 0 {
+		for _, ch := range g.done {
+			g.w.ready(ch)
+		}
+		g.done = nil
+	}
+}
+
+// Wait blocks until the counter reaches zero.
+func (g *WaitGroup) Wait() {
+	for g.count > 0 {
+		ch := make(chan struct{})
+		g.done = append(g.done, ch)
+		g.w.block(ch, "waitgroup")
+	}
+}

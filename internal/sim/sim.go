@@ -1,0 +1,340 @@
+// Package sim provides a deterministic virtual-time simulation kernel.
+//
+// All protocol and measurement code in this repository runs on virtual
+// time: tasks are ordinary goroutines that cooperate with a World through
+// blocking primitives (Sleep, Queue.Pop, timers). The kernel runs exactly
+// one task at a time and advances the clock only when every task is
+// blocked, so a simulated week-long measurement campaign executes in
+// milliseconds and is reproducible given a seed.
+//
+// The execution model is cooperative ("one big lock"): because at most one
+// task executes at any instant, tasks may share mutable state without
+// additional locking, and event ordering is deterministic (FIFO among
+// runnable tasks, then earliest-deadline-first among timers, ties broken
+// by creation order).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// World is a virtual-time event kernel. Create one with NewWorld, spawn
+// the initial task(s) with Go, then call Run from the host goroutine.
+type World struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signaled whenever active drops to zero
+
+	now    time.Duration
+	seq    uint64
+	timers timerHeap
+	runq   []chan struct{} // tasks ready to run, FIFO
+
+	active int // 1 while a task or timer callback is executing
+	tasks  int // live tasks (running or blocked)
+
+	rng     *rand.Rand
+	stopped bool
+	label   map[chan struct{}]string // debug labels for blocked tasks
+}
+
+// NewWorld returns a World whose random source is seeded with seed.
+func NewWorld(seed int64) *World {
+	w := &World{
+		rng:   rand.New(rand.NewSource(seed)),
+		label: make(map[chan struct{}]string),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Now returns the current virtual time, measured from the World's epoch.
+func (w *World) Now() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
+
+// Rand returns the World's deterministic random source. It must only be
+// used from tasks (which run one at a time), never from the host goroutine
+// while Run is in progress.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// Go spawns fn as a new task. It may be called from the host goroutine
+// before Run, or from any running task.
+func (w *World) Go(fn func()) {
+	w.mu.Lock()
+	w.tasks++
+	ch := make(chan struct{})
+	w.runq = append(w.runq, ch)
+	w.mu.Unlock()
+	go func() {
+		<-ch // wait to be scheduled
+		defer w.taskExit()
+		fn()
+	}()
+}
+
+func (w *World) taskExit() {
+	w.mu.Lock()
+	w.tasks--
+	w.active--
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// block parks the calling task until ch is closed (or receives). The
+// caller must have registered ch somewhere a waker can find it. label is
+// used in deadlock reports.
+func (w *World) block(ch chan struct{}, label string) {
+	w.mu.Lock()
+	w.label[ch] = label
+	w.active--
+	w.cond.Signal()
+	w.mu.Unlock()
+	<-ch
+	w.mu.Lock()
+	delete(w.label, ch)
+	w.mu.Unlock()
+}
+
+// ready marks ch runnable. Safe to call from a running task or a timer
+// callback; the kernel hands execution over once the current task blocks.
+func (w *World) ready(ch chan struct{}) {
+	w.mu.Lock()
+	w.runq = append(w.runq, ch)
+	w.mu.Unlock()
+}
+
+// Sleep blocks the calling task for d of virtual time. Non-positive
+// durations yield the processor to other runnable tasks at the same
+// instant.
+func (w *World) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	w.mu.Lock()
+	w.pushTimerLocked(w.now+d, timerWake, ch, nil)
+	w.mu.Unlock()
+	w.block(ch, fmt.Sprintf("sleep(%v)", d))
+}
+
+// Yield lets other runnable tasks execute before continuing.
+func (w *World) Yield() { w.Sleep(0) }
+
+type timerKind uint8
+
+const (
+	timerWake timerKind = iota
+	timerFunc
+)
+
+// Timer is a cancellable scheduled callback created by AfterFunc.
+type Timer struct {
+	w       *World
+	at      time.Duration
+	seq     uint64
+	stopped bool
+	fired   bool
+}
+
+type timerEntry struct {
+	at   time.Duration
+	seq  uint64
+	kind timerKind
+	ch   chan struct{}
+	fn   func()
+	t    *Timer
+}
+
+func (w *World) pushTimerLocked(at time.Duration, kind timerKind, ch chan struct{}, fn func()) *Timer {
+	w.seq++
+	t := &Timer{w: w, at: at, seq: w.seq}
+	heap.Push(&w.timers, &timerEntry{at: at, seq: w.seq, kind: kind, ch: ch, fn: fn, t: t})
+	return t
+}
+
+// AfterFunc schedules fn to run at Now()+d on the kernel, as a pseudo-task
+// of its own. fn must not block forever; it may use World primitives.
+func (w *World) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pushTimerLocked(w.now+d, timerFunc, nil, fn)
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was prevented from firing.
+func (t *Timer) Stop() bool {
+	t.w.mu.Lock()
+	defer t.w.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Run drives the simulation until quiescence: no runnable tasks and no
+// pending timers. Tasks blocked forever (e.g. servers waiting for
+// requests) do not prevent Run from returning. Run must be called from
+// the host goroutine, not from a task. It returns the final virtual time.
+func (w *World) Run() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		// Wait until the currently executing task blocks or exits.
+		for w.active > 0 {
+			w.cond.Wait()
+		}
+		if len(w.runq) > 0 {
+			ch := w.runq[0]
+			w.runq = w.runq[1:]
+			w.active++
+			close(ch)
+			continue
+		}
+		// No runnable task: advance time to the next timer.
+		fired := false
+		for w.timers.Len() > 0 {
+			e := heap.Pop(&w.timers).(*timerEntry)
+			if e.t != nil && e.t.stopped {
+				continue
+			}
+			if e.t != nil {
+				e.t.fired = true
+			}
+			if e.at > w.now {
+				w.now = e.at
+			}
+			switch e.kind {
+			case timerWake:
+				w.runq = append(w.runq, e.ch)
+			case timerFunc:
+				w.active++
+				fn := e.fn
+				w.mu.Unlock()
+				func() {
+					defer func() {
+						w.mu.Lock()
+						w.active--
+						w.cond.Signal()
+						w.mu.Unlock()
+					}()
+					fn()
+				}()
+				w.mu.Lock()
+			}
+			fired = true
+			break
+		}
+		if !fired && len(w.runq) == 0 {
+			return w.now
+		}
+	}
+}
+
+// RunFor drives the simulation like Run but stops once virtual time would
+// exceed the deadline now+d; timers beyond the deadline are left pending.
+func (w *World) RunFor(d time.Duration) time.Duration {
+	w.mu.Lock()
+	deadline := w.now + d
+	w.mu.Unlock()
+	return w.runUntil(deadline)
+}
+
+func (w *World) runUntil(deadline time.Duration) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for w.active > 0 {
+			w.cond.Wait()
+		}
+		if len(w.runq) > 0 {
+			ch := w.runq[0]
+			w.runq = w.runq[1:]
+			w.active++
+			close(ch)
+			continue
+		}
+		fired := false
+		for w.timers.Len() > 0 {
+			if w.timers[0].at > deadline {
+				w.now = deadline
+				return w.now
+			}
+			e := heap.Pop(&w.timers).(*timerEntry)
+			if e.t != nil && e.t.stopped {
+				continue
+			}
+			if e.t != nil {
+				e.t.fired = true
+			}
+			if e.at > w.now {
+				w.now = e.at
+			}
+			switch e.kind {
+			case timerWake:
+				w.runq = append(w.runq, e.ch)
+			case timerFunc:
+				w.active++
+				fn := e.fn
+				w.mu.Unlock()
+				func() {
+					defer func() {
+						w.mu.Lock()
+						w.active--
+						w.cond.Signal()
+						w.mu.Unlock()
+					}()
+					fn()
+				}()
+				w.mu.Lock()
+			}
+			fired = true
+			break
+		}
+		if !fired && len(w.runq) == 0 {
+			return w.now
+		}
+	}
+}
+
+// Blocked returns debug labels of all currently blocked tasks. Intended
+// for tests and deadlock diagnostics.
+func (w *World) Blocked() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.label))
+	for _, l := range w.label {
+		out = append(out, l)
+	}
+	return out
+}
+
+// timerHeap is a min-heap ordered by (at, seq).
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timerEntry)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

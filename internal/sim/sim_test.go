@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	w := NewWorld(1)
+	var got time.Duration
+	w.Go(func() {
+		w.Sleep(5 * time.Second)
+		got = w.Now()
+	})
+	start := time.Now()
+	end := w.Run()
+	if got != 5*time.Second {
+		t.Errorf("task observed %v, want 5s", got)
+	}
+	if end != 5*time.Second {
+		t.Errorf("Run returned %v, want 5s", end)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Errorf("virtual sleep took %v of real time", real)
+	}
+}
+
+func TestTimersFireInDeadlineOrder(t *testing.T) {
+	w := NewWorld(1)
+	var order []int
+	w.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	w.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	w.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	w.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTimerTieBrokenByCreationOrder(t *testing.T) {
+	w := NewWorld(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		w.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	w.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	w := NewWorld(1)
+	fired := false
+	tm := w.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false before firing")
+	}
+	w.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+}
+
+func TestQueuePushPop(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "test")
+	var got []int
+	w.Go(func() {
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok {
+				t.Error("Pop reported closed")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	w.Go(func() {
+		w.Sleep(time.Second)
+		q.Push(1)
+		q.Push(2)
+		w.Sleep(time.Second)
+		q.Push(3)
+	})
+	w.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestQueuePopTimeout(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "test")
+	var timedOutAt time.Duration
+	var gotLate bool
+	w.Go(func() {
+		_, ok := q.PopTimeout(2 * time.Second)
+		if ok {
+			t.Error("PopTimeout returned a value from an empty queue")
+		}
+		timedOutAt = w.Now()
+		v, ok := q.PopTimeout(10 * time.Second)
+		gotLate = ok && v == 7
+	})
+	w.Go(func() {
+		w.Sleep(5 * time.Second)
+		q.Push(7)
+	})
+	w.Run()
+	if timedOutAt != 2*time.Second {
+		t.Errorf("timeout at %v, want 2s", timedOutAt)
+	}
+	if !gotLate {
+		t.Error("second PopTimeout did not receive pushed value")
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "test")
+	q.Push(1)
+	okAfterClose := true
+	w.Go(func() {
+		q.Close()
+		if v, ok := q.Pop(); !ok || v != 1 {
+			t.Errorf("Pop after close = (%v, %v), want (1, true)", v, ok)
+		}
+		_, okAfterClose = q.Pop()
+	})
+	w.Run()
+	if okAfterClose {
+		t.Error("Pop on drained closed queue returned ok=true")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	w := NewWorld(1)
+	f := NewFuture[string](w, "test")
+	var got string
+	w.Go(func() {
+		v, ok := f.Wait()
+		if !ok {
+			t.Error("future abandoned")
+		}
+		got = v
+	})
+	w.Go(func() {
+		w.Sleep(time.Second)
+		f.Resolve("hello")
+	})
+	w.Run()
+	if got != "hello" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	w := NewWorld(1)
+	g := NewWaitGroup(w)
+	n := 0
+	var doneAt time.Duration
+	w.Go(func() {
+		for i := 1; i <= 3; i++ {
+			i := i
+			g.Add(1)
+			w.Go(func() {
+				w.Sleep(time.Duration(i) * time.Second)
+				n++
+				g.Done()
+			})
+		}
+		g.Wait()
+		doneAt = w.Now()
+	})
+	w.Run()
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	if doneAt != 3*time.Second {
+		t.Errorf("Wait returned at %v, want 3s", doneAt)
+	}
+}
+
+func TestRunForStopsAtDeadline(t *testing.T) {
+	w := NewWorld(1)
+	fired := 0
+	w.AfterFunc(time.Second, func() { fired++ })
+	w.AfterFunc(10*time.Second, func() { fired++ })
+	end := w.RunFor(5 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if end != 5*time.Second {
+		t.Errorf("end = %v, want 5s", end)
+	}
+	// The remaining timer fires if we keep running.
+	w.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d after Run, want 2", fired)
+	}
+}
+
+func TestManyTasksDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		w := NewWorld(42)
+		var order []int
+		for i := 0; i < 20; i++ {
+			i := i
+			w.Go(func() {
+				w.Sleep(time.Duration(w.Rand().Intn(100)) * time.Millisecond)
+				order = append(order, i)
+			})
+		}
+		w.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic interleaving: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	w := NewWorld(1)
+	depth := 0
+	var spawn func(d int)
+	spawn = func(d int) {
+		if d > depth {
+			depth = d
+		}
+		if d < 5 {
+			w.Go(func() {
+				w.Sleep(time.Millisecond)
+				spawn(d + 1)
+			})
+		}
+	}
+	w.Go(func() { spawn(0) })
+	w.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+}
+
+func TestYield(t *testing.T) {
+	w := NewWorld(1)
+	var order []string
+	w.Go(func() {
+		order = append(order, "a1")
+		w.Yield()
+		order = append(order, "a2")
+	})
+	w.Go(func() {
+		order = append(order, "b1")
+		w.Yield()
+		order = append(order, "b2")
+	})
+	w.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: medians, percentiles, empirical CDFs, and relative-difference
+// series, matching how the paper aggregates its measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Median returns the median of xs (mean of the two central elements for
+// even lengths). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Midpoint form avoids overflow for extreme values.
+	return s[n/2-1]/2 + s[n/2]/2
+}
+
+// MedianDuration is Median over durations.
+func MedianDuration(xs []time.Duration) time.Duration {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianInt is Median over ints, returning an int.
+func MedianInt(xs []int) int {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0..1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return Percentile(c.sorted, q*100)
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points samples the CDF at n evenly spaced sample indices, returning
+// (x, P(X<=x)) pairs suitable for plotting or table output.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		q := float64(i) / float64(n)
+		idx := int(q*float64(len(c.sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(c.sorted) {
+			idx = len(c.sorted) - 1
+		}
+		out = append(out, [2]float64{c.sorted[idx], q})
+	}
+	return out
+}
+
+// RelDiff returns (x-baseline)/baseline, the paper's relative difference
+// metric (e.g. "+10%" means 10% slower than the baseline protocol).
+func RelDiff(x, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (x - baseline) / baseline
+}
+
+// RelDiffDurations computes RelDiff over duration medians.
+func RelDiffDurations(x, baseline time.Duration) float64 {
+	return RelDiff(float64(x), float64(baseline))
+}
+
+// Sparkline renders values (assumed in [lo, hi]) as a unicode mini-chart.
+// It is used by the report package to draw CDF shapes in terminals.
+func Sparkline(values []float64, lo, hi float64) string {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, v := range values {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		idx := int(f * float64(len(ramp)-1))
+		sb.WriteRune(ramp[idx])
+	}
+	return sb.String()
+}
+
+// FormatPct formats a fraction as a signed percentage.
+func FormatPct(f float64) string {
+	return fmt.Sprintf("%+.1f%%", f*100)
+}

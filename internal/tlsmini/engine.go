@@ -1,0 +1,639 @@
+package tlsmini
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"math/rand"
+	"time"
+)
+
+// DefaultTicketLifetime is the maximum session ticket lifetime of RFC
+// 8446 §4.6.1; the paper observes all resolvers using it.
+const DefaultTicketLifetime = 7 * 24 * time.Hour
+
+// Config parameterizes an Engine.
+type Config struct {
+	IsClient   bool
+	ServerName string // client: target name; ignored for servers
+	ALPN       []string
+	Identity   *Identity // server certificate
+	// Version is the highest version to negotiate. Zero means TLS 1.3.
+	Version Version
+	// SessionCache enables client-side resumption when non-nil.
+	SessionCache *SessionCache
+	// TicketStore enables server-side resumption when non-nil.
+	TicketStore *TicketStore
+	// DisableSessionTickets stops the server from issuing tickets.
+	DisableSessionTickets bool
+	// AcceptEarlyData lets the server accept 0-RTT. The paper found no
+	// public resolver enabling this; it is the E11 ablation.
+	AcceptEarlyData bool
+	// OfferEarlyData makes the client offer 0-RTT when it has a suitable
+	// session.
+	OfferEarlyData bool
+	// TicketLifetime defaults to DefaultTicketLifetime.
+	TicketLifetime time.Duration
+	// Rand is the deterministic randomness source (required).
+	Rand *rand.Rand
+	// Now supplies virtual time for ticket lifetimes (required when
+	// resumption is used).
+	Now func() time.Duration
+}
+
+func (c *Config) now() time.Duration {
+	if c.Now == nil {
+		return 0
+	}
+	return c.Now()
+}
+
+func (c *Config) ticketLifetime() time.Duration {
+	if c.TicketLifetime == 0 {
+		return DefaultTicketLifetime
+	}
+	return c.TicketLifetime
+}
+
+func (c *Config) maxVersion() Version {
+	if c.Version == 0 {
+		return VersionTLS13
+	}
+	return c.Version
+}
+
+// Engine is the transport-agnostic handshake state machine. Feed it
+// peer messages with Handle; it returns the flight to transmit.
+type Engine struct {
+	cfg Config
+
+	state      engineState
+	transcript hash.Hash
+
+	ecdhPriv *ecdh.PrivateKey
+
+	version      Version
+	alpn         string
+	offeredPSK   *Session
+	pskAccepted  bool
+	earlyOffered bool
+	earlyAccept  bool
+
+	earlySecret  []byte
+	hsSecret     []byte
+	masterSecret []byte
+
+	secrets map[secretKey][]byte
+
+	peerIdentityName string
+	peerCertKey      []byte       // server public key (client side)
+	clientHello      *ClientHello // server: retained for PSK/early decisions
+	err              error
+}
+
+type secretKey struct {
+	epoch  Epoch
+	client bool
+}
+
+type engineState int
+
+const (
+	stStart engineState = iota
+	stClientWaitSH
+	stClientWaitEE
+	stClientWaitCert
+	stClientWaitCV
+	stClientWaitFin
+	stClientWaitCert12
+	stClientWaitDone12
+	stClientWaitFin12
+	stServerWaitCH
+	stServerWaitFin
+	stServerWaitCKE12
+	stServerWaitFin12
+	stDone
+)
+
+// NewEngine creates an engine. Servers must set Identity.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		cfg:        cfg,
+		transcript: sha256.New(),
+		secrets:    make(map[secretKey][]byte),
+	}
+	if cfg.IsClient {
+		e.state = stStart
+	} else {
+		e.state = stServerWaitCH
+	}
+	return e
+}
+
+func (e *Engine) fail(err error) error {
+	e.err = err
+	return err
+}
+
+// Err returns the first fatal error.
+func (e *Engine) Err() error { return e.err }
+
+// Complete reports whether the handshake has finished on this side.
+func (e *Engine) Complete() bool { return e.state == stDone }
+
+// NegotiatedALPN returns the agreed application protocol.
+func (e *Engine) NegotiatedALPN() string { return e.alpn }
+
+// NegotiatedVersion returns the agreed protocol version (valid once the
+// ServerHello has been processed).
+func (e *Engine) NegotiatedVersion() Version { return e.version }
+
+// UsedResumption reports whether the handshake resumed a session.
+func (e *Engine) UsedResumption() bool { return e.pskAccepted }
+
+// EarlyDataOffered reports whether the client offered 0-RTT.
+func (e *Engine) EarlyDataOffered() bool { return e.earlyOffered }
+
+// EarlyDataAccepted reports whether 0-RTT was accepted.
+func (e *Engine) EarlyDataAccepted() bool { return e.earlyAccept }
+
+// PeerName returns the server identity name (client side, after the
+// certificate or on resumption the cached name).
+func (e *Engine) PeerName() string { return e.peerIdentityName }
+
+// TrafficSecret returns the traffic secret for an epoch and direction
+// (client=true for client-to-server). It returns nil if not yet derived.
+func (e *Engine) TrafficSecret(epoch Epoch, client bool) []byte {
+	return e.secrets[secretKey{epoch, client}]
+}
+
+func (e *Engine) hashMsg(m Message) []byte {
+	enc := EncodeMessage(m)
+	e.transcript.Write(enc)
+	return enc
+}
+
+func (e *Engine) transcriptHash() []byte { return e.transcript.Sum(nil) }
+
+func (e *Engine) genKeyShare() [32]byte {
+	priv, err := ecdh.X25519().GenerateKey(e.cfg.Rand)
+	if err != nil {
+		panic(err)
+	}
+	e.ecdhPriv = priv
+	var pub [32]byte
+	copy(pub[:], priv.PublicKey().Bytes())
+	return pub
+}
+
+func (e *Engine) sharedSecret(peerPub [32]byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerPub[:])
+	if err != nil {
+		return nil, err
+	}
+	return e.ecdhPriv.ECDH(pub)
+}
+
+// Start produces the client's first flight. For servers it is a no-op.
+func (e *Engine) Start() ([]Message, error) {
+	if !e.cfg.IsClient || e.state != stStart {
+		return nil, nil
+	}
+	ch := &ClientHello{ServerName: e.cfg.ServerName, ALPN: e.cfg.ALPN}
+	e.cfg.Rand.Read(ch.Random[:])
+	e.cfg.Rand.Read(ch.SessionID[:])
+	ch.KeyShare = e.genKeyShare()
+	switch e.cfg.maxVersion() {
+	case VersionTLS12:
+		ch.SupportedVersions = []Version{VersionTLS12}
+	default:
+		ch.SupportedVersions = []Version{VersionTLS13, VersionTLS12}
+	}
+
+	var psk []byte
+	if e.cfg.SessionCache != nil {
+		if s := e.cfg.SessionCache.Get(e.cfg.ServerName, e.cfg.now()); s != nil {
+			e.offeredPSK = s
+			ch.PSKTicket = s.Ticket
+			psk = s.Secret
+			binderKey := hkdfExpand(hkdfExtract(nil, psk), "binder", hashLen)
+			copy(ch.PSKBinder[:], hmacSum(binderKey, s.Ticket))
+			if e.cfg.OfferEarlyData && s.EarlyData {
+				ch.EarlyData = true
+				e.earlyOffered = true
+			}
+			e.peerIdentityName = s.ServerName
+		}
+	}
+	e.earlySecret = hkdfExtract(nil, psk)
+
+	m := Message{Type: TypeClientHello, Epoch: EpochInitial, Body: ch}
+	e.hashMsg(m)
+	if e.earlyOffered {
+		early := deriveSecret(e.earlySecret, "c e traffic", e.transcriptHash())
+		e.secrets[secretKey{EpochEarly, true}] = early
+	}
+	e.state = stClientWaitSH
+	return []Message{m}, nil
+}
+
+// Handle processes one peer message and returns this side's response
+// flight (possibly empty).
+func (e *Engine) Handle(m Message) ([]Message, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.cfg.IsClient {
+		return e.handleClient(m)
+	}
+	return e.handleServer(m)
+}
+
+func (e *Engine) handleClient(m Message) ([]Message, error) {
+	switch e.state {
+	case stClientWaitSH:
+		sh, ok := m.Body.(*ServerHello)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected ServerHello, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		e.version = sh.Version
+		if sh.Version == VersionTLS12 {
+			e.state = stClientWaitCert12
+			return nil, nil
+		}
+		e.pskAccepted = sh.PSKAccepted
+		if !e.pskAccepted {
+			// Server declined the PSK; restart the schedule without it.
+			e.earlySecret = hkdfExtract(nil, nil)
+			e.earlyAccept = false
+		}
+		shared, err := e.sharedSecret(sh.KeyShare)
+		if err != nil {
+			return nil, e.fail(err)
+		}
+		e.deriveHandshakeSecrets(shared)
+		e.state = stClientWaitEE
+		return nil, nil
+
+	case stClientWaitEE:
+		ee, ok := m.Body.(*EncryptedExtensions)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected EncryptedExtensions, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		e.alpn = ee.ALPN
+		if len(e.cfg.ALPN) > 0 && e.alpn == "" {
+			return nil, e.fail(errors.New("tlsmini: server did not negotiate ALPN"))
+		}
+		e.earlyAccept = ee.EarlyDataAccepted && e.earlyOffered
+		if e.pskAccepted {
+			e.state = stClientWaitFin
+		} else {
+			e.state = stClientWaitCert
+		}
+		return nil, nil
+
+	case stClientWaitCert:
+		cert, ok := m.Body.(*Certificate)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Certificate, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		e.peerIdentityName = cert.Name
+		e.peerCertKey = append([]byte(nil), cert.PublicKey...)
+		e.state = stClientWaitCV
+		return nil, nil
+
+	case stClientWaitCV:
+		cv, ok := m.Body.(*CertificateVerify)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected CertificateVerify, got %d", m.Type))
+		}
+		// Signature covers the transcript up to (excluding) this message.
+		if len(e.peerCertKey) != ed25519.PublicKeySize ||
+			!ed25519.Verify(ed25519.PublicKey(e.peerCertKey), e.transcriptHash(), cv.Signature) {
+			return nil, e.fail(errors.New("tlsmini: certificate verification failed"))
+		}
+		e.hashMsg(m)
+		e.state = stClientWaitFin
+		return nil, nil
+
+	case stClientWaitFin:
+		fin, ok := m.Body.(*Finished)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
+		}
+		serverHS := e.secrets[secretKey{EpochHandshake, false}]
+		finKey := hkdfExpand(serverHS, "finished", hashLen)
+		want := hmacSum(finKey, e.transcriptHash())
+		if !hmacEqual(want, fin.VerifyData[:]) {
+			return nil, e.fail(errors.New("tlsmini: server Finished verification failed"))
+		}
+		e.hashMsg(m)
+		e.deriveAppSecrets()
+
+		// Client Finished.
+		clientHS := e.secrets[secretKey{EpochHandshake, true}]
+		cFinKey := hkdfExpand(clientHS, "finished", hashLen)
+		cfin := &Finished{}
+		copy(cfin.VerifyData[:], hmacSum(cFinKey, e.transcriptHash()))
+		out := Message{Type: TypeFinished, Epoch: EpochHandshake, Body: cfin}
+		e.hashMsg(out)
+		e.state = stDone
+		return []Message{out}, nil
+
+	// --- TLS 1.2 emulation: one extra round trip ---
+	case stClientWaitCert12:
+		cert, ok := m.Body.(*Certificate)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Certificate, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		e.peerIdentityName = cert.Name
+		e.peerCertKey = append([]byte(nil), cert.PublicKey...)
+		e.state = stClientWaitDone12
+		return nil, nil
+
+	case stClientWaitDone12:
+		if _, ok := m.Body.(*ServerHelloDone); !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected ServerHelloDone, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		cke := &ClientKeyExchange{}
+		copy(cke.KeyShare[:], e.ecdhPriv.PublicKey().Bytes())
+		out1 := Message{Type: TypeClientKeyExchange, Epoch: EpochInitial, Body: cke}
+		e.hashMsg(out1)
+		fin := &Finished{}
+		copy(fin.VerifyData[:], hmacSum(e.legacyKey(), e.transcriptHash()))
+		out2 := Message{Type: TypeFinished, Epoch: EpochInitial, Body: fin}
+		e.hashMsg(out2)
+		e.state = stClientWaitFin12
+		return []Message{out1, out2}, nil
+
+	case stClientWaitFin12:
+		if _, ok := m.Body.(*Finished); !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		e.deriveLegacyAppSecrets()
+		e.state = stDone
+		return nil, nil
+
+	case stDone:
+		if nst, ok := m.Body.(*NewSessionTicket); ok {
+			e.hashMsg(m)
+			if e.cfg.SessionCache != nil {
+				resumption := deriveSecret(e.masterSecret, "res master", nst.Nonce[:])
+				e.cfg.SessionCache.Put(&Session{
+					ServerName: e.cfg.ServerName,
+					Ticket:     append([]byte(nil), nst.Ticket...),
+					Secret:     resumption,
+					ALPN:       e.alpn,
+					IssuedAt:   e.cfg.now(),
+					Lifetime:   time.Duration(nst.LifetimeSecs) * time.Second,
+					EarlyData:  nst.EarlyDataAllowed,
+				})
+			}
+			return nil, nil
+		}
+		return nil, e.fail(fmt.Errorf("tlsmini: unexpected post-handshake message %d", m.Type))
+	}
+	return nil, e.fail(fmt.Errorf("tlsmini: client cannot handle message %d in state %d", m.Type, e.state))
+}
+
+func (e *Engine) handleServer(m Message) ([]Message, error) {
+	switch e.state {
+	case stServerWaitCH:
+		ch, ok := m.Body.(*ClientHello)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected ClientHello, got %d", m.Type))
+		}
+		e.clientHello = ch
+		// Version negotiation.
+		e.version = 0
+		for _, v := range ch.SupportedVersions {
+			if v <= e.cfg.maxVersion() && v > e.version {
+				e.version = v
+			}
+		}
+		if e.version == 0 {
+			return nil, e.fail(errors.New("tlsmini: no common version"))
+		}
+		// ALPN negotiation: first client preference supported here.
+		if len(ch.ALPN) > 0 {
+			for _, a := range ch.ALPN {
+				if contains(e.cfg.ALPN, a) {
+					e.alpn = a
+					break
+				}
+			}
+			if e.alpn == "" {
+				return nil, e.fail(errors.New("tlsmini: no application protocol overlap"))
+			}
+		}
+		e.hashMsg(m)
+		if e.version == VersionTLS12 {
+			return e.serverFlight12(ch)
+		}
+		return e.serverFlight13(ch)
+
+	case stServerWaitFin:
+		fin, ok := m.Body.(*Finished)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
+		}
+		clientHS := e.secrets[secretKey{EpochHandshake, true}]
+		finKey := hkdfExpand(clientHS, "finished", hashLen)
+		if !hmacEqual(hmacSum(finKey, e.transcriptHash()), fin.VerifyData[:]) {
+			return nil, e.fail(errors.New("tlsmini: client Finished verification failed"))
+		}
+		e.hashMsg(m)
+		e.state = stDone
+		if e.cfg.DisableSessionTickets || e.cfg.TicketStore == nil {
+			return nil, nil
+		}
+		return []Message{e.issueTicket()}, nil
+
+	case stServerWaitCKE12:
+		cke, ok := m.Body.(*ClientKeyExchange)
+		if !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected ClientKeyExchange, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		if _, err := e.sharedSecret(cke.KeyShare); err != nil {
+			return nil, e.fail(err)
+		}
+		e.state = stServerWaitFin12
+		return nil, nil
+
+	case stServerWaitFin12:
+		if _, ok := m.Body.(*Finished); !ok {
+			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
+		}
+		e.hashMsg(m)
+		fin := &Finished{}
+		copy(fin.VerifyData[:], hmacSum(e.legacyKey(), e.transcriptHash()))
+		out := Message{Type: TypeFinished, Epoch: EpochInitial, Body: fin}
+		e.hashMsg(out)
+		e.deriveLegacyAppSecrets()
+		e.state = stDone
+		return []Message{out}, nil
+	}
+	return nil, e.fail(fmt.Errorf("tlsmini: server cannot handle message %d in state %d", m.Type, e.state))
+}
+
+func (e *Engine) serverFlight13(ch *ClientHello) ([]Message, error) {
+	// PSK decision.
+	var psk []byte
+	if len(ch.PSKTicket) > 0 && e.cfg.TicketStore != nil {
+		if st := e.cfg.TicketStore.get(ch.PSKTicket, e.cfg.now()); st != nil {
+			binderKey := hkdfExpand(hkdfExtract(nil, st.secret), "binder", hashLen)
+			if hmacEqual(hmacSum(binderKey, ch.PSKTicket), ch.PSKBinder[:]) {
+				psk = st.secret
+				e.pskAccepted = true
+				if ch.EarlyData && e.cfg.AcceptEarlyData && st.earlyData {
+					e.earlyAccept = true
+				}
+			}
+		}
+	}
+	e.earlySecret = hkdfExtract(nil, psk)
+	if e.earlyAccept {
+		// Early traffic secret binds to the ClientHello transcript.
+		e.secrets[secretKey{EpochEarly, true}] = deriveSecret(e.earlySecret, "c e traffic", e.transcriptHash())
+	}
+
+	sh := &ServerHello{Version: VersionTLS13, PSKAccepted: e.pskAccepted}
+	e.cfg.Rand.Read(sh.Random[:])
+	sh.KeyShare = e.genKeyShare()
+	shared, err := e.sharedSecret(e.clientHello.KeyShare)
+	if err != nil {
+		return nil, e.fail(err)
+	}
+	mSH := Message{Type: TypeServerHello, Epoch: EpochInitial, Body: sh}
+	e.hashMsg(mSH)
+	e.deriveHandshakeSecrets(shared)
+
+	flight := []Message{mSH}
+	ee := &EncryptedExtensions{ALPN: e.alpn, EarlyDataAccepted: e.earlyAccept}
+	mEE := Message{Type: TypeEncryptedExtensions, Epoch: EpochHandshake, Body: ee}
+	e.hashMsg(mEE)
+	flight = append(flight, mEE)
+
+	if !e.pskAccepted {
+		if e.cfg.Identity == nil {
+			return nil, e.fail(errors.New("tlsmini: server has no identity"))
+		}
+		cert := &Certificate{
+			Name:      e.cfg.Identity.Name,
+			PublicKey: e.cfg.Identity.PublicKey,
+			Chain:     e.cfg.Identity.Chain,
+		}
+		mCert := Message{Type: TypeCertificate, Epoch: EpochHandshake, Body: cert}
+		e.hashMsg(mCert)
+		sig := ed25519.Sign(e.cfg.Identity.PrivateKey, e.transcriptHash())
+		mCV := Message{Type: TypeCertificateVerify, Epoch: EpochHandshake, Body: &CertificateVerify{Signature: sig}}
+		e.hashMsg(mCV)
+		flight = append(flight, mCert, mCV)
+	}
+
+	serverHS := e.secrets[secretKey{EpochHandshake, false}]
+	finKey := hkdfExpand(serverHS, "finished", hashLen)
+	fin := &Finished{}
+	copy(fin.VerifyData[:], hmacSum(finKey, e.transcriptHash()))
+	mFin := Message{Type: TypeFinished, Epoch: EpochHandshake, Body: fin}
+	e.hashMsg(mFin)
+	flight = append(flight, mFin)
+
+	e.deriveAppSecrets()
+	e.state = stServerWaitFin
+	return flight, nil
+}
+
+func (e *Engine) serverFlight12(ch *ClientHello) ([]Message, error) {
+	if e.cfg.Identity == nil {
+		return nil, e.fail(errors.New("tlsmini: server has no identity"))
+	}
+	sh := &ServerHello{Version: VersionTLS12}
+	e.cfg.Rand.Read(sh.Random[:])
+	sh.KeyShare = e.genKeyShare()
+	mSH := Message{Type: TypeServerHello, Epoch: EpochInitial, Body: sh}
+	e.hashMsg(mSH)
+	cert := &Certificate{
+		Name:      e.cfg.Identity.Name,
+		PublicKey: e.cfg.Identity.PublicKey,
+		Chain:     e.cfg.Identity.Chain,
+	}
+	mCert := Message{Type: TypeCertificate, Epoch: EpochInitial, Body: cert}
+	e.hashMsg(mCert)
+	mDone := Message{Type: TypeServerHelloDone, Epoch: EpochInitial, Body: &ServerHelloDone{}}
+	e.hashMsg(mDone)
+	e.state = stServerWaitCKE12
+	return []Message{mSH, mCert, mDone}, nil
+}
+
+func (e *Engine) issueTicket() Message {
+	nst := &NewSessionTicket{
+		LifetimeSecs:     uint32(e.cfg.ticketLifetime() / time.Second),
+		EarlyDataAllowed: e.cfg.AcceptEarlyData,
+	}
+	e.cfg.Rand.Read(nst.Nonce[:])
+	ticket := make([]byte, 48)
+	e.cfg.Rand.Read(ticket)
+	nst.Ticket = ticket
+	nst.AgeAdd = e.cfg.Rand.Uint32()
+	resumption := deriveSecret(e.masterSecret, "res master", nst.Nonce[:])
+	e.cfg.TicketStore.put(ticket, &ticketState{
+		secret:    resumption,
+		alpn:      e.alpn,
+		issuedAt:  e.cfg.now(),
+		lifetime:  e.cfg.ticketLifetime(),
+		earlyData: e.cfg.AcceptEarlyData,
+	})
+	m := Message{Type: TypeNewSessionTicket, Epoch: EpochApp, Body: nst}
+	e.hashMsg(m)
+	return m
+}
+
+func (e *Engine) deriveHandshakeSecrets(shared []byte) {
+	derived := deriveSecret(e.earlySecret, "derived", nil)
+	e.hsSecret = hkdfExtract(derived, shared)
+	th := e.transcriptHash()
+	e.secrets[secretKey{EpochHandshake, true}] = deriveSecret(e.hsSecret, "c hs traffic", th)
+	e.secrets[secretKey{EpochHandshake, false}] = deriveSecret(e.hsSecret, "s hs traffic", th)
+	e.masterSecret = hkdfExtract(deriveSecret(e.hsSecret, "derived", nil), nil)
+}
+
+func (e *Engine) deriveAppSecrets() {
+	th := e.transcriptHash()
+	e.secrets[secretKey{EpochApp, true}] = deriveSecret(e.masterSecret, "c ap traffic", th)
+	e.secrets[secretKey{EpochApp, false}] = deriveSecret(e.masterSecret, "s ap traffic", th)
+}
+
+// legacyKey is the TLS 1.2 emulation's Finished key; both sides derive it
+// from the ECDHE secret transcribed into the master secret.
+func (e *Engine) legacyKey() []byte {
+	if e.masterSecret == nil {
+		e.masterSecret = hkdfExtract(nil, []byte("legacy master"))
+	}
+	return hkdfExpand(e.masterSecret, "legacy finished", hashLen)
+}
+
+func (e *Engine) deriveLegacyAppSecrets() {
+	th := e.transcriptHash()
+	e.secrets[secretKey{EpochApp, true}] = deriveSecret(e.legacyKey(), "c ap traffic", th)
+	e.secrets[secretKey{EpochApp, false}] = deriveSecret(e.legacyKey(), "s ap traffic", th)
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package tlsmini
+
+// This file exports the record-protection primitives for use by
+// internal/quic, which performs its own packet protection with secrets
+// obtained from Engine.TrafficSecret.
+
+// DeriveTrafficKeys derives the AEAD key and IV from a traffic secret.
+func DeriveTrafficKeys(secret []byte) (key, iv []byte) { return trafficKeys(secret) }
+
+// Seal AEAD-protects plaintext with the per-record nonce built from iv
+// and seq, binding aad.
+func Seal(key, iv []byte, seq uint64, plaintext, aad []byte) []byte {
+	return aeadSeal(key, iv, seq, plaintext, aad)
+}
+
+// Open reverses Seal.
+func Open(key, iv []byte, seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	return aeadOpen(key, iv, seq, ciphertext, aad)
+}
+
+// AEADOverhead is the tag size Seal appends.
+const AEADOverhead = aeadOverhead
