@@ -11,13 +11,17 @@ package repro
 // single-query campaign costs only real CPU, not real hours).
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
 // benchConfig keeps each iteration around a second on one core while
-// preserving the population distributions.
+// preserving the population distributions. Parallelism 1 pins the
+// serial baseline; the *Parallel variants below lift it to GOMAXPROCS
+// so the recorded benchmarks capture the serial->parallel speedup
+// trajectory (results are byte-identical either way).
 func benchConfig(seed int64) experiments.Config {
 	cfg := experiments.Default()
 	cfg.Seed = seed
@@ -26,13 +30,16 @@ func benchConfig(seed int64) experiments.Config {
 	cfg.WebLoads = 1
 	cfg.WebPages = 10
 	cfg.ScanScale = 16
+	cfg.Parallelism = 1
 	return cfg
 }
 
-func benchExperiment(b *testing.B, id string) {
+func benchExperimentCfg(b *testing.B, id string, parallelism int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchConfig(1000 + int64(i)))
+		cfg := benchConfig(1000 + int64(i))
+		cfg.Parallelism = parallelism
+		r := experiments.NewRunner(cfg)
 		e, ok := experiments.ByID(id)
 		if !ok {
 			b.Fatalf("unknown experiment %s", id)
@@ -46,6 +53,8 @@ func benchExperiment(b *testing.B, id string) {
 		}
 	}
 }
+
+func benchExperiment(b *testing.B, id string) { benchExperimentCfg(b, id, 1) }
 
 // BenchmarkE1ScanFunnel regenerates the §2 discovery funnel
 // (1216 DoQ resolvers -> 313 verified, scaled).
@@ -95,3 +104,16 @@ func BenchmarkE11ZeroRTT(b *testing.B) { benchExperiment(b, "E11") }
 // BenchmarkE12DoTFix regenerates the §3.2 root-cause ablation: the DNS
 // proxy's DoT in-flight bug versus the authors' upstream fix.
 func BenchmarkE12DoTFix(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE4Table1SizesParallel is BenchmarkE4Table1Sizes with the
+// single-query campaign sharded across GOMAXPROCS workers. The report
+// is byte-identical to the serial run; only wall time changes.
+func BenchmarkE4Table1SizesParallel(b *testing.B) {
+	benchExperimentCfg(b, "E4", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkE9Fig4GridParallel is BenchmarkE9Fig4Grid with the web
+// page-load matrix sharded across GOMAXPROCS workers.
+func BenchmarkE9Fig4GridParallel(b *testing.B) {
+	benchExperimentCfg(b, "E9", runtime.GOMAXPROCS(0))
+}

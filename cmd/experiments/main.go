@@ -3,15 +3,21 @@
 // twelve experiments at a fast, shape-preserving scale; -full uses the
 // paper's population sizes.
 //
+// Campaigns execute as sharded parallel campaigns: -parallel N sizes the
+// worker pool (default GOMAXPROCS). Parallelism scales wall time only —
+// for a fixed seed, stdout is byte-identical at -parallel 1 and
+// -parallel 8 (timings go to stderr).
+//
 // Usage:
 //
-//	experiments [-full] [-id E4] [-seed N]
+//	experiments [-full] [-id E4] [-seed N] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,6 +27,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale campaigns (slow)")
 	id := flag.String("id", "", "run a single experiment (e.g. E4)")
 	seed := flag.Int64("seed", 0, "override the campaign seed")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS; affects speed, never results)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -38,6 +45,14 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Parallelism = *parallel
+	if *parallel > 0 {
+		// -parallel N is a CPU budget. RunAll nests campaign worker
+		// pools inside concurrently running experiments (goroutines, so
+		// oversubscription is cheap), and capping GOMAXPROCS is what
+		// bounds actual simultaneous execution at N.
+		runtime.GOMAXPROCS(*parallel)
+	}
 	runner := experiments.NewRunner(cfg)
 
 	run := experiments.All()
@@ -49,13 +64,23 @@ func main() {
 		}
 		run = []experiments.Experiment{e}
 	}
-	for _, e := range run {
-		start := time.Now()
-		out, err := e.Run(runner)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+	start := time.Now()
+	failed := 0
+	// Reports stream in input order as they complete, so long -full runs
+	// show progress; stdout stays byte-stable at any parallelism.
+	results := experiments.RunAllFunc(runner, run, cfg.Parallelism, func(res experiments.Result) {
+		e := res.Experiment
+		if res.Err != nil {
+			// Keep printing the experiments that succeed; their
+			// campaigns already ran.
+			failed++
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, res.Err)
+			return
 		}
-		fmt.Printf("=== %s — %s (%s) [%.1fs]\n%s\n", e.ID, e.Artifact, e.About, time.Since(start).Seconds(), out)
+		fmt.Printf("=== %s — %s (%s)\n%s\n", e.ID, e.Artifact, e.About, res.Output)
+	})
+	fmt.Fprintf(os.Stderr, "%d experiments in %.1fs\n", len(results), time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

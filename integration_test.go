@@ -12,6 +12,7 @@ import (
 	"repro/internal/dox"
 	"repro/internal/geo"
 	"repro/internal/measure"
+	"repro/internal/netem"
 	"repro/internal/resolver"
 	"repro/internal/stats"
 )
@@ -71,7 +72,10 @@ func TestCampaignDeterministicGivenSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		samples := measure.RunSingleQuery(measure.SingleQueryConfig{Universe: u})
+		samples, err := measure.RunSingleQuery(measure.SingleQueryConfig{Universe: u})
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := map[dox.Protocol][]time.Duration{}
 		for _, s := range samples {
 			if s.OK {
@@ -86,19 +90,12 @@ func TestCampaignDeterministicGivenSeed(t *testing.T) {
 	}
 	a, b := run(), run()
 	for _, p := range dox.Protocols {
-		diff := a[p] - b[p]
-		if diff < 0 {
-			diff = -diff
-		}
-		// Go's randomized map iteration order leaks into a few failure
-		// paths (e.g. which pending query is failed first when a lossy
-		// socket closes), shifting later RNG draws; the median can move
-		// by one sample's jitter. Aggregates must agree to within ~2%.
-		tol := a[p] / 50
-		if tol < 5*time.Millisecond {
-			tol = 5 * time.Millisecond
-		}
-		if diff > tol {
+		// Exact equality: the determinism leaks that once forced a
+		// tolerance here (map-order task wakeups in transport failure
+		// paths, ecdh.GenerateKey drawing from the system DRBG) are
+		// fixed, and the campaign engine's byte-identity guarantee
+		// depends on them staying fixed.
+		if a[p] != b[p] {
 			t.Errorf("%v: medians differ across identical runs: %v vs %v", p, a[p], b[p])
 		}
 	}
@@ -116,7 +113,10 @@ func TestPaperHeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples := measure.RunSingleQuery(measure.SingleQueryConfig{Universe: u})
+	samples, err := measure.RunSingleQuery(measure.SingleQueryConfig{Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := map[dox.Protocol][]float64{}
 	for _, s := range samples {
 		if s.OK {
@@ -138,5 +138,48 @@ func TestPaperHeadline(t *testing.T) {
 	short := (doq - doudp) / doudp
 	if short < 0.6 || short > 1.4 {
 		t.Errorf("DoQ falls short of DoUDP by %.0f%%, want ~100%% of 1 RTT (paper's ~50%% of total incl. overheads)", short*100)
+	}
+}
+
+// TestPacketTraceIdenticalGivenSeed is the strongest determinism
+// regression test: two same-seed campaigns must emit bit-identical
+// packet sequences, not just equal aggregates. It is also the consumer
+// of netem's Network.Trace hook — if a nondeterministic source (map
+// iteration waking tasks, the system DRBG behind crypto key
+// generation) leaks back in, the first diverging packet localizes it.
+func TestPacketTraceIdenticalGivenSeed(t *testing.T) {
+	type packet struct {
+		now     time.Duration
+		proto   netem.Proto
+		src     string
+		payload string
+	}
+	run := func() []packet {
+		u, err := resolver.NewUniverse(resolver.UniverseConfig{
+			Seed:           77,
+			ResolverCounts: map[geo.Continent]int{geo.EU: 2, geo.AS: 1},
+			Loss:           0.01, // loss exercises the retransmission paths
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []packet
+		u.Net.Trace = func(d netem.Datagram, now time.Duration) {
+			trace = append(trace, packet{now, d.Proto, d.Src.String(), string(d.Payload)})
+		}
+		if _, err := measure.RunSingleQuery(measure.SingleQueryConfig{Universe: u}); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("packet counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("first diverging packet at %d: %v %d %s vs %v %d %s",
+				i, a[i].now, a[i].proto, a[i].src, b[i].now, b[i].proto, b[i].src)
+		}
 	}
 }

@@ -1,0 +1,151 @@
+// Package campaign is the shard-scatter / deterministic-gather engine
+// underneath every measurement campaign in this repository.
+//
+// The paper's campaigns (single-query matrix, web page-load matrix, scan
+// funnel) are embarrassingly parallel across vantage/resolver/target
+// partitions, but the sim kernel deliberately runs one task at a time so
+// that each World stays reproducible. The campaign engine reconciles the
+// two: a campaign is split into shards, each shard gets its own
+// sim.World seeded by a SplitMix-style derivation from (campaign seed,
+// shard index), shards execute on a worker pool of OS threads sized by
+// GOMAXPROCS, and results are gathered in shard order.
+//
+// Determinism guarantee: the shard plan and every shard seed are pure
+// functions of the campaign configuration — never of the worker count —
+// and the gather step orders results by shard index. A campaign
+// therefore produces byte-identical output at parallelism 1 and
+// parallelism N.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Shard identifies one unit of campaign work.
+type Shard struct {
+	// Index is the shard's position in the campaign plan; results are
+	// gathered in Index order.
+	Index int
+	// Seed is derived from (campaign seed, Index) via sim.DeriveSeed and
+	// should seed everything random inside the shard (its World, its
+	// client RNG).
+	Seed int64
+}
+
+// Workers resolves a parallelism knob: 0 (or negative) means
+// GOMAXPROCS, and the result never exceeds the shard count.
+func Workers(parallelism, shards int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > shards {
+		parallelism = shards
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// Run executes n shards on a pool of Workers(parallelism, n) OS threads
+// and returns the per-shard results in shard order. run is called once
+// per shard, possibly concurrently with other shards; it must confine
+// all mutable state to its own shard (each shard builds its own World).
+func Run[R any](seed int64, n, parallelism int, run func(Shard) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	results := make([]R, n)
+	workers := Workers(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			results[i] = run(Shard{Index: i, Seed: sim.DeriveSeed(seed, uint64(i))})
+		}
+		return results
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = run(Shard{Index: i, Seed: sim.DeriveSeed(seed, uint64(i))})
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunErr is Run for fallible shards: it executes n shards like Run and
+// returns the per-shard results in shard order, or the first (by shard
+// index) error any shard produced. All shards run to completion even
+// when one fails — the campaign result is all-or-nothing.
+func RunErr[R any](seed int64, n, parallelism int, run func(Shard) (R, error)) ([]R, error) {
+	type out struct {
+		result R
+		err    error
+	}
+	parts := Run(seed, n, parallelism, func(s Shard) out {
+		r, err := run(s)
+		return out{result: r, err: err}
+	})
+	results := make([]R, n)
+	for i, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		results[i] = p.result
+	}
+	return results, nil
+}
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Blocks partitions [0, n) into consecutive spans of at most size
+// indices. size <= 0 yields a single span. The partition depends only on
+// (n, size) — never on the worker count — so it is safe to use as a
+// shard plan.
+func Blocks(n, size int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 || size > n {
+		size = n
+	}
+	out := make([]Span, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Span{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Concat gathers per-shard sample slices into one campaign result,
+// preserving shard order.
+func Concat[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

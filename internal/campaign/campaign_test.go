@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBlocksPartition(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []Span
+	}{
+		{0, 4, nil},
+		{1, 4, []Span{{0, 1}}},
+		{4, 4, []Span{{0, 4}}},
+		{5, 4, []Span{{0, 4}, {4, 5}}},
+		{8, 4, []Span{{0, 4}, {4, 8}}},
+		{10, 3, []Span{{0, 3}, {3, 6}, {6, 9}, {9, 10}}},
+		{7, 0, []Span{{0, 7}}},   // size 0 = one span
+		{3, 100, []Span{{0, 3}}}, // oversized block clamps
+	}
+	for _, c := range cases {
+		got := Blocks(c.n, c.size)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Blocks(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func TestBlocksCoverEveryIndexOnce(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for size := 1; size <= 10; size++ {
+			seen := make([]int, n)
+			for _, s := range Blocks(n, size) {
+				if s.Len() <= 0 || s.Len() > size {
+					t.Fatalf("Blocks(%d,%d): bad span %v", n, size, s)
+				}
+				for i := s.Lo; i < s.Hi; i++ {
+					seen[i]++
+				}
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("Blocks(%d,%d): index %d covered %d times", n, size, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(4, 10); w != 4 {
+		t.Errorf("Workers(4,10) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8,3) = %d (must not exceed shards)", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0,100) = %d", w)
+	}
+}
+
+// TestRunGatherOrder checks that results land at their shard index no
+// matter the parallelism.
+func TestRunGatherOrder(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		got := Run(42, 23, par, func(s Shard) int { return s.Index * 10 })
+		for i, v := range got {
+			if v != i*10 {
+				t.Fatalf("parallelism %d: results[%d] = %d", par, i, v)
+			}
+		}
+	}
+}
+
+// TestRunShardSeedsIndependentOfParallelism is the core determinism
+// property: shard seeds depend only on (campaign seed, index).
+func TestRunShardSeedsIndependentOfParallelism(t *testing.T) {
+	seeds := func(par int) []int64 {
+		return Run(7, 16, par, func(s Shard) int64 { return s.Seed })
+	}
+	want := seeds(1)
+	for _, par := range []int{2, 4, 16} {
+		if got := seeds(par); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d changed shard seeds", par)
+		}
+	}
+	for i, s := range want {
+		if s != sim.DeriveSeed(7, uint64(i)) {
+			t.Errorf("shard %d seed = %d, want DeriveSeed", i, s)
+		}
+	}
+	// A different campaign seed must reshuffle every shard seed.
+	other := Run(8, 16, 1, func(s Shard) int64 { return s.Seed })
+	for i := range want {
+		if want[i] == other[i] {
+			t.Errorf("shard %d seed identical across campaign seeds", i)
+		}
+	}
+}
+
+// TestRunActuallyParallel checks that with parallelism N, N shards can
+// be in flight at once (workers don't serialize behind each other).
+func TestRunActuallyParallel(t *testing.T) {
+	const par = 4
+	var inFlight, peak int32
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	Run(1, par, par, func(s Shard) int {
+		n := atomic.AddInt32(&inFlight, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		if int(n) == par {
+			close(gate) // all workers arrived; release everyone
+		}
+		<-gate
+		atomic.AddInt32(&inFlight, -1)
+		return 0
+	})
+	if peak != par {
+		t.Errorf("peak concurrency = %d, want %d", peak, par)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat([][]int{{1, 2}, nil, {3}, {}, {4, 5}})
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Errorf("Concat = %v", got)
+	}
+}

@@ -3,8 +3,10 @@ package dox
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"time"
 
 	"repro/internal/dnsmsg"
@@ -15,6 +17,17 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/tlsmini"
 )
+
+// failPending fails every in-flight query in ascending query-ID order.
+// Iterating the map directly would wake the waiting tasks in Go's
+// randomized map order, which leaks into the kernel's run queue and
+// breaks bit-level reproducibility of lossy campaigns.
+func failPending(pending map[uint16]*sim.Future[*dnsmsg.Message]) {
+	for _, id := range slices.Sorted(maps.Keys(pending)) {
+		pending[id].Fail()
+		delete(pending, id)
+	}
+}
 
 // Client is a DNS transport session against one resolver.
 type Client interface {
@@ -134,10 +147,7 @@ func (c *udpClient) readLoop() {
 	for {
 		d, ok := c.sock.Recv()
 		if !ok {
-			for id, f := range c.pending {
-				f.Fail()
-				delete(c.pending, id)
-			}
+			failPending(c.pending)
 			return
 		}
 		resp, err := dnsmsg.Decode(d.Payload)
@@ -341,10 +351,7 @@ func (c *dotClient) readLoop() {
 	for {
 		resp, err := c.readOne()
 		if err != nil {
-			for id, f := range c.pending {
-				f.Fail()
-				delete(c.pending, id)
-			}
+			failPending(c.pending)
 			return
 		}
 		if f, ok := c.pending[resp.ID]; ok {

@@ -7,22 +7,20 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
-	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/dox"
 	"repro/internal/geo"
 	"repro/internal/measure"
-	"repro/internal/netem"
 	"repro/internal/pages"
 	"repro/internal/quic"
 	"repro/internal/report"
 	"repro/internal/resolver"
 	"repro/internal/scan"
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tlsmini"
 )
@@ -47,6 +45,11 @@ type Config struct {
 	ScanScale int
 	// Loss is the path loss rate.
 	Loss float64
+	// Parallelism sizes the campaign worker pools and the number of
+	// experiments RunAll executes concurrently (0 = GOMAXPROCS). It
+	// scales wall time only: campaign shard plans and seeds never depend
+	// on it, so reports are byte-identical at parallelism 1 and N.
+	Parallelism int
 }
 
 // Default returns a configuration that keeps every experiment fast while
@@ -85,22 +88,30 @@ type Experiment struct {
 }
 
 // Runner caches campaign results so experiments sharing a workload (E3
-// through E6 all consume the single-query campaign) run it once.
+// through E6 all consume the single-query campaign, E1 and E2 the scan)
+// run it once. A Runner is safe for concurrent use by RunAll: the first
+// caller of a campaign computes it while later callers wait for the
+// cached result. Each cached campaign has its own lock so the three
+// independent campaigns (scan, single-query, web) can overlap.
 type Runner struct {
 	Cfg Config
 
+	sqMu     sync.Mutex
 	sq       []measure.SingleQuerySample
 	sqDone   bool
+	webMu    sync.Mutex
 	web      []measure.WebSample
 	webDone  bool
-	webFixed []measure.WebSample
+	scanMu   sync.Mutex
+	scan     scan.FunnelResult
+	scanDone bool
 }
 
 // NewRunner creates a Runner for cfg.
 func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
 
-func (r *Runner) universe(seedOffset int64, resolvers int, mutate func(*resolver.Profile)) (*resolver.Universe, error) {
-	return resolver.NewUniverse(resolver.UniverseConfig{
+func (r *Runner) blueprint(seedOffset int64, resolvers int, mutate func(*resolver.Profile)) (*resolver.Blueprint, error) {
+	return resolver.NewBlueprint(resolver.UniverseConfig{
 		Seed:           r.Cfg.Seed + seedOffset,
 		ResolverCounts: resolver.ScaledCounts(resolvers),
 		Loss:           r.Cfg.Loss,
@@ -108,37 +119,51 @@ func (r *Runner) universe(seedOffset int64, resolvers int, mutate func(*resolver
 	})
 }
 
-// SingleQuery runs (once) the default single-query campaign.
+// SingleQuery runs (once) the default single-query campaign, sharded
+// across the worker pool.
 func (r *Runner) SingleQuery() ([]measure.SingleQuerySample, error) {
+	r.sqMu.Lock()
+	defer r.sqMu.Unlock()
 	if r.sqDone {
 		return r.sq, nil
 	}
-	u, err := r.universe(0, r.Cfg.Resolvers, nil)
+	bp, err := r.blueprint(0, r.Cfg.Resolvers, nil)
 	if err != nil {
 		return nil, err
 	}
-	r.sq = measure.RunSingleQuery(measure.SingleQueryConfig{
-		Universe: u,
-		Rounds:   r.Cfg.Rounds,
+	r.sq, err = measure.RunSingleQuery(measure.SingleQueryConfig{
+		Blueprint:   bp,
+		Parallelism: r.Cfg.Parallelism,
+		Rounds:      r.Cfg.Rounds,
 	})
+	if err != nil {
+		return nil, err
+	}
 	r.sqDone = true
 	return r.sq, nil
 }
 
-// Web runs (once) the default web campaign.
+// Web runs (once) the default web campaign, sharded across the worker
+// pool.
 func (r *Runner) Web() ([]measure.WebSample, error) {
+	r.webMu.Lock()
+	defer r.webMu.Unlock()
 	if r.webDone {
 		return r.web, nil
 	}
-	u, err := r.universe(1, r.Cfg.WebResolvers, nil)
+	bp, err := r.blueprint(1, r.Cfg.WebResolvers, nil)
 	if err != nil {
 		return nil, err
 	}
-	r.web = measure.RunWeb(measure.WebConfig{
-		Universe: u,
-		Pages:    pages.Top10()[:r.Cfg.WebPages],
-		Loads:    r.Cfg.WebLoads,
+	r.web, err = measure.RunWeb(measure.WebConfig{
+		Blueprint:   bp,
+		Parallelism: r.Cfg.Parallelism,
+		Pages:       pages.Top10()[:r.Cfg.WebPages],
+		Loads:       r.Cfg.WebLoads,
 	})
+	if err != nil {
+		return nil, err
+	}
 	r.webDone = true
 	return r.web, nil
 }
@@ -171,22 +196,79 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// Result is one experiment's report (or failure).
+type Result struct {
+	Experiment Experiment
+	Output     string
+	Err        error
+}
+
+// RunAll executes the given experiments on a shared Runner, up to
+// parallelism at a time (0 = GOMAXPROCS), and returns results in input
+// order. Experiments sharing a campaign serialize on the Runner's cache,
+// so each campaign still runs exactly once; independent experiments
+// (scan, ablations, web) proceed concurrently. Reports are identical at
+// any parallelism because every campaign underneath is.
+//
+// Concurrent experiments each spawn their own campaign worker pool, so
+// the total goroutine count can exceed parallelism; goroutines are
+// cheap, and actual simultaneous execution is bounded by GOMAXPROCS
+// (which cmd/experiments pins to -parallel N).
+func RunAll(r *Runner, exps []Experiment, parallelism int) []Result {
+	return RunAllFunc(r, exps, parallelism, nil)
+}
+
+// RunAllFunc is RunAll with streaming: emit, when non-nil, receives each
+// result in input order as soon as it and all earlier experiments have
+// completed, so a long run shows progress without giving up the
+// input-ordered (and therefore parallelism-independent) output.
+func RunAllFunc(r *Runner, exps []Experiment, parallelism int, emit func(Result)) []Result {
+	results := make([]Result, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		campaign.Run(r.Cfg.Seed, len(exps), parallelism, func(s campaign.Shard) struct{} {
+			e := exps[s.Index]
+			out, err := e.Run(r)
+			results[s.Index] = Result{Experiment: e, Output: out, Err: err}
+			close(done[s.Index])
+			return struct{}{}
+		})
+	}()
+	for i := range exps {
+		<-done[i]
+		if emit != nil {
+			emit(results[i])
+		}
+	}
+	<-finished
+	return results
+}
+
 // --- E1 / E2: scan ---
 
+// runScan runs (once) the sharded discovery funnel.
 func (r *Runner) runScan() (scan.FunnelResult, scan.PopulationSpec, error) {
-	w := sim.NewWorld(r.Cfg.Seed + 10)
-	net := netem.NewNetwork(w)
-	net.SetDefaultPath(netem.PathParams{Delay: 40 * time.Millisecond, Loss: 0})
-	rng := rand.New(rand.NewSource(r.Cfg.Seed + 10))
 	spec := scan.PaperSpec().Scaled(r.Cfg.ScanScale)
-	pop, err := scan.BuildPopulation(net, rng, spec)
+	r.scanMu.Lock()
+	defer r.scanMu.Unlock()
+	if r.scanDone {
+		return r.scan, spec, nil
+	}
+	res, err := scan.RunFunnel(scan.FunnelConfig{
+		Seed:        r.Cfg.Seed + 10,
+		Spec:        spec,
+		Parallelism: r.Cfg.Parallelism,
+	})
 	if err != nil {
 		return scan.FunnelResult{}, spec, err
 	}
-	scanner := &scan.Scanner{Host: net.Host(netip.MustParseAddr("10.99.0.1")), Rand: rng}
-	var res scan.FunnelResult
-	w.Go(func() { res = scanner.Run(pop) })
-	w.Run()
+	r.scan = res
+	r.scanDone = true
 	return res, spec, nil
 }
 
@@ -585,20 +667,24 @@ func runE9(r *Runner) (string, error) {
 // --- E10 / E11 / E12: ablations ---
 
 func runE10(r *Runner) (string, error) {
-	u1, err := r.universe(20, r.Cfg.Resolvers, nil)
+	bp, err := r.blueprint(20, r.Cfg.Resolvers, nil)
 	if err != nil {
 		return "", err
 	}
-	with := measure.RunSingleQuery(measure.SingleQueryConfig{
-		Universe: u1, Protocols: []dox.Protocol{dox.DoQ, dox.DoH, dox.DoT},
+	with, err := measure.RunSingleQuery(measure.SingleQueryConfig{
+		Blueprint: bp, Parallelism: r.Cfg.Parallelism,
+		Protocols: []dox.Protocol{dox.DoQ, dox.DoH, dox.DoT},
 	})
-	u2, err := r.universe(20, r.Cfg.Resolvers, nil)
 	if err != nil {
 		return "", err
 	}
-	without := measure.RunSingleQuery(measure.SingleQueryConfig{
-		Universe: u2, Protocols: []dox.Protocol{dox.DoQ, dox.DoH, dox.DoT}, DisableResumption: true,
+	without, err := measure.RunSingleQuery(measure.SingleQueryConfig{
+		Blueprint: bp, Parallelism: r.Cfg.Parallelism,
+		Protocols: []dox.Protocol{dox.DoQ, dox.DoH, dox.DoT}, DisableResumption: true,
 	})
+	if err != nil {
+		return "", err
+	}
 	t := &report.Table{
 		Title:  "E10 — handshake medians with vs without Session Resumption (ms)",
 		Header: []string{"protocol", "resumed", "cold", "penalty"},
@@ -623,15 +709,16 @@ func medianHandshake(samples []measure.SingleQuerySample, p dox.Protocol) float6
 
 func runE11(r *Runner) (string, error) {
 	mk := func(zeroRTT bool) ([]measure.SingleQuerySample, error) {
-		u, err := r.universe(30, r.Cfg.Resolvers, func(p *resolver.Profile) {
+		bp, err := r.blueprint(30, r.Cfg.Resolvers, func(p *resolver.Profile) {
 			p.AcceptEarlyData = zeroRTT
 		})
 		if err != nil {
 			return nil, err
 		}
 		return measure.RunSingleQuery(measure.SingleQueryConfig{
-			Universe: u, Protocols: []dox.Protocol{dox.DoQ}, Use0RTT: zeroRTT,
-		}), nil
+			Blueprint: bp, Parallelism: r.Cfg.Parallelism,
+			Protocols: []dox.Protocol{dox.DoQ}, Use0RTT: zeroRTT,
+		})
 	}
 	base, err := mk(false)
 	if err != nil {
@@ -669,21 +756,28 @@ func runE11(r *Runner) (string, error) {
 }
 
 func runE12(r *Runner) (string, error) {
-	run := func(fixed bool) []measure.WebSample {
-		u, err := r.universe(40, r.Cfg.WebResolvers, nil)
+	run := func(fixed bool) ([]measure.WebSample, error) {
+		bp, err := r.blueprint(40, r.Cfg.WebResolvers, nil)
 		if err != nil {
-			return nil
+			return nil, err
 		}
 		return measure.RunWeb(measure.WebConfig{
-			Universe:    u,
+			Blueprint:   bp,
+			Parallelism: r.Cfg.Parallelism,
 			Protocols:   []dox.Protocol{dox.DoUDP, dox.DoT},
 			Pages:       pages.Top10()[:r.Cfg.WebPages],
 			Loads:       r.Cfg.WebLoads,
 			FixDoTReuse: fixed,
 		})
 	}
-	buggy := run(false)
-	fixed := run(true)
+	buggy, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	fixed, err := run(true)
+	if err != nil {
+		return "", err
+	}
 	med := func(samples []measure.WebSample) float64 {
 		series := relDiffSeries(samples, func(s measure.WebSample) time.Duration { return s.PLT }, dox.DoUDP)
 		return stats.Median(series[dox.DoT])

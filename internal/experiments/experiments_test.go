@@ -86,3 +86,67 @@ func TestSingleQueryCachedAcrossExperiments(t *testing.T) {
 		t.Error("single-query campaign re-ran instead of being cached")
 	}
 }
+
+// TestReportsDeterministicAcrossParallelism enforces the acceptance
+// criterion that every experiment E1-E12 emits a byte-identical report
+// at parallelism 1 and parallelism 8 for the same seed. Each
+// parallelism level gets a fresh Runner so campaign caches cannot mask
+// a divergence.
+func TestReportsDeterministicAcrossParallelism(t *testing.T) {
+	reports := func(par int) map[string]string {
+		cfg := tiny()
+		cfg.Parallelism = par
+		r := NewRunner(cfg)
+		out := map[string]string{}
+		for _, res := range RunAll(r, All(), par) {
+			if res.Err != nil {
+				t.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+			}
+			out[res.Experiment.ID] = res.Output
+		}
+		return out
+	}
+	base := reports(1)
+	got := reports(8)
+	for _, e := range All() {
+		if base[e.ID] != got[e.ID] {
+			t.Errorf("%s report differs between parallelism 1 and 8:\n--- p1:\n%s\n--- p8:\n%s",
+				e.ID, base[e.ID], got[e.ID])
+		}
+	}
+}
+
+// TestRunAllOrderAndCaching checks that RunAll returns results in input
+// order and that shared campaigns still run once under concurrency.
+func TestRunAllOrderAndCaching(t *testing.T) {
+	r := NewRunner(tiny())
+	var emitted []string
+	results := RunAllFunc(r, All(), 4, func(res Result) {
+		emitted = append(emitted, res.Experiment.ID)
+	})
+	if len(results) != len(All()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, e := range All() {
+		if results[i].Experiment.ID != e.ID {
+			t.Fatalf("result %d is %s, want %s", i, results[i].Experiment.ID, e.ID)
+		}
+		if emitted[i] != e.ID {
+			t.Fatalf("emit %d was %s, want input order %s", i, emitted[i], e.ID)
+		}
+		if results[i].Err != nil {
+			t.Errorf("%s: %v", e.ID, results[i].Err)
+		}
+	}
+	a, err := r.SingleQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.SingleQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("single-query campaign was not cached across RunAll")
+	}
+}

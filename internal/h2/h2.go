@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/sim"
 	"repro/internal/tlsmini"
@@ -258,15 +260,22 @@ func NewClientConn(w *sim.World, s tlsmini.Stream) (*ClientConn, error) {
 	return c, nil
 }
 
+// failPending fails open streams in ascending stream-ID order so the
+// waiting tasks wake deterministically (map order would leak Go's
+// randomized iteration into the simulation's run queue).
+func (c *ClientConn) failPending() {
+	for _, id := range slices.Sorted(maps.Keys(c.pending)) {
+		c.pending[id].done.Fail()
+		delete(c.pending, id)
+	}
+}
+
 func (c *ClientConn) readLoop() {
 	for {
 		f, ok := c.reader.next()
 		if !ok {
 			c.closed = true
-			for id, st := range c.pending {
-				st.done.Fail()
-				delete(c.pending, id)
-			}
+			c.failPending()
 			return
 		}
 		switch f.ftype {
@@ -302,10 +311,7 @@ func (c *ClientConn) readLoop() {
 			}
 		case frameGoAway:
 			c.closed = true
-			for id, st := range c.pending {
-				st.done.Fail()
-				delete(c.pending, id)
-			}
+			c.failPending()
 			return
 		}
 	}

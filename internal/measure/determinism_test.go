@@ -1,0 +1,148 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/pages"
+	"repro/internal/resolver"
+)
+
+// The tests in this file enforce the campaign engine's core guarantee:
+// for a fixed seed and configuration, the sample stream is byte-identical
+// at parallelism 1 and parallelism N. If one of these fails, some state
+// is shared across shards or a nondeterministic source (map iteration,
+// system DRBG) has leaked into the simulation.
+
+func detBlueprint(t *testing.T) *resolver.Blueprint {
+	t.Helper()
+	bp, err := resolver.NewBlueprint(resolver.UniverseConfig{
+		Seed:           2022,
+		ResolverCounts: resolver.ScaledCounts(12),
+		Loss:           0.003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestSingleQueryDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) []SingleQuerySample {
+		samples, err := RunSingleQuery(SingleQueryConfig{
+			Blueprint:     detBlueprint(t),
+			Parallelism:   par,
+			ResolverBlock: 3, // several shards per vantage
+			Rounds:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, par := range []int{2, 8} {
+		got := run(par)
+		if !reflect.DeepEqual(base, got) {
+			for i := range base {
+				if base[i] != got[i] {
+					t.Fatalf("parallelism %d: first differing sample %d:\n1: %+v\n%d: %+v",
+						par, i, base[i], par, got[i])
+				}
+			}
+			t.Fatalf("parallelism %d: sample streams differ in length", par)
+		}
+	}
+}
+
+func TestWebDeterministicAcrossParallelism(t *testing.T) {
+	bp, err := resolver.NewBlueprint(resolver.UniverseConfig{
+		Seed:           2022,
+		ResolverCounts: map[geo.Continent]int{geo.EU: 2, geo.NA: 1},
+		Loss:           0.003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(par int) []WebSample {
+		samples, err := RunWeb(WebConfig{
+			Blueprint:     bp,
+			Parallelism:   par,
+			ResolverBlock: 1, // one shard per [vantage:resolver]
+			Protocols:     []dox.Protocol{dox.DoUDP, dox.DoQ, dox.DoH},
+			Pages:         []*pages.Page{pages.ByName("wikipedia"), pages.ByName("google")},
+			Loads:         1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, par := range []int{3, 8} {
+		if got := run(par); !reflect.DeepEqual(base, got) {
+			t.Fatalf("parallelism %d produced a different web sample stream", par)
+		}
+	}
+}
+
+// TestSingleQueryRunToRunIdentity pins down absolute reproducibility:
+// two runs of the same sharded campaign in the same process must agree
+// bit for bit (this catches map-iteration and system-DRBG leaks that
+// parallelism comparisons alone might miss).
+func TestSingleQueryRunToRunIdentity(t *testing.T) {
+	run := func() []SingleQuerySample {
+		samples, err := RunSingleQuery(SingleQueryConfig{Blueprint: detBlueprint(t), Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical-seed campaign runs produced different samples")
+	}
+}
+
+// TestShardedSampleStreamShape checks that the sharded path covers the
+// full matrix exactly once with global resolver indices.
+func TestShardedSampleStreamShape(t *testing.T) {
+	bp := detBlueprint(t)
+	samples, err := RunSingleQuery(SingleQueryConfig{
+		Blueprint:     bp,
+		Parallelism:   4,
+		ResolverBlock: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRes := len(bp.Profiles)
+	nVan := len(bp.Vantages)
+	if want := nVan * nRes * len(dox.Protocols); len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	type key struct {
+		vantage string
+		res     int
+		proto   dox.Protocol
+	}
+	seen := map[key]int{}
+	for _, s := range samples {
+		if s.ResolverIdx < 0 || s.ResolverIdx >= nRes {
+			t.Fatalf("sample has out-of-range global resolver index %d", s.ResolverIdx)
+		}
+		seen[key{s.Vantage, s.ResolverIdx, s.Protocol}]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("combination %+v measured %d times", k, n)
+		}
+	}
+}

@@ -14,6 +14,25 @@
 // DNS proxy forwards Chromium's queries upstream; a cache-warming
 // navigation precedes the measured loads; proxy sessions are reset in
 // between so the measured navigation establishes new (resumed) sessions.
+//
+// # Execution model
+//
+// Both campaigns run as sharded parallel campaigns on the
+// internal/campaign engine. The campaign is partitioned by vantage and
+// by fixed-size resolver blocks into shards; each shard instantiates its
+// partition of the resolver.Blueprint inside a private sim.World whose
+// seed derives from (campaign seed, shard index), executes its slice of
+// the measurement matrix serially on virtual time, and returns its
+// samples. Shards run on a worker pool of OS threads sized by
+// GOMAXPROCS (see the Parallelism knobs) and results merge in shard
+// order, so the sample stream is byte-identical at any parallelism
+// level: the shard plan and every shard seed are functions of the
+// configuration only, never of the worker count.
+//
+// The single-World entry points (SingleQueryConfig.Universe,
+// WebConfig.Universe) remain for tests and examples that drive a
+// pre-built Universe directly; they are equivalent to a one-shard
+// campaign.
 package measure
 
 import (
@@ -21,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/browser"
+	"repro/internal/campaign"
 	"repro/internal/dnsmsg"
 	"repro/internal/dnsproxy"
 	"repro/internal/dox"
@@ -52,7 +72,25 @@ type SingleQuerySample struct {
 
 // SingleQueryConfig parameterizes a single-query campaign.
 type SingleQueryConfig struct {
-	Universe  *resolver.Universe
+	// Universe runs the campaign inside one pre-built World (legacy
+	// single-shard path). Mutually exclusive with Blueprint.
+	Universe *resolver.Universe
+	// Blueprint selects the sharded path: the campaign is partitioned by
+	// vantage and resolver block, and every shard instantiates its
+	// partition of the blueprint in a private World.
+	Blueprint *resolver.Blueprint
+	// Seed is the campaign seed for the sharded path (default: the
+	// blueprint's seed).
+	Seed int64
+	// Parallelism caps the worker pool (0 = GOMAXPROCS). It affects wall
+	// time only, never results.
+	Parallelism int
+	// ResolverBlock is the shard granularity in resolvers (default 32).
+	// Part of the shard plan: changing it changes shard seeds and thus
+	// the exact sample stream, so it is a config knob, not a tuning knob
+	// the engine may adjust on its own.
+	ResolverBlock int
+
 	Protocols []dox.Protocol // default: all five
 	// Rounds repeats the campaign (the paper measures every 2 hours for
 	// a week: 84 rounds).
@@ -87,38 +125,94 @@ func (c *SingleQueryConfig) defaults() {
 	if c.QueryTimeout == 0 {
 		c.QueryTimeout = 15 * time.Second
 	}
+	if c.ResolverBlock == 0 {
+		c.ResolverBlock = 32
+	}
+	if c.Seed == 0 && c.Blueprint != nil {
+		c.Seed = c.Blueprint.Seed
+	}
 }
 
-// RunSingleQuery executes the campaign and returns all samples. It must
-// be called from outside the Universe's world (it drives Run itself).
-func RunSingleQuery(cfg SingleQueryConfig) []SingleQuerySample {
+// runSharded scatters a campaign over (vantage x resolver block) shards
+// and gathers the per-shard samples in shard order. Each shard
+// instantiates its blueprint partition in a private World seeded from
+// (seed, shard index) and runs body as that World's initial task. The
+// first shard instantiation error aborts the campaign.
+func runSharded[T any](bp *resolver.Blueprint, seed int64, parallelism, resolverBlock int, body func(u *resolver.Universe, vp *resolver.Vantage) []T) ([]T, error) {
+	blocks := campaign.Blocks(len(bp.Profiles), resolverBlock)
+	type shardPlan struct {
+		vantage int
+		span    campaign.Span
+	}
+	var plan []shardPlan
+	for v := range bp.Vantages {
+		for _, blk := range blocks {
+			plan = append(plan, shardPlan{vantage: v, span: blk})
+		}
+	}
+	parts, err := campaign.RunErr(seed, len(plan), parallelism, func(s campaign.Shard) ([]T, error) {
+		p := plan[s.Index]
+		u, err := bp.Instantiate(s.Seed, resolver.Scope{
+			Vantages:   []int{p.vantage},
+			ResolverLo: p.span.Lo,
+			ResolverHi: p.span.Hi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []T
+		u.W.Go(func() { out = body(u, u.Vantages[0]) })
+		u.W.Run()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Concat(parts), nil
+}
+
+// RunSingleQuery executes the campaign and returns all samples, ordered
+// by (vantage, resolver block, round, resolver, protocol). It must be
+// called from the host side (it drives each World's Run itself).
+func RunSingleQuery(cfg SingleQueryConfig) ([]SingleQuerySample, error) {
 	cfg.defaults()
+	if cfg.Blueprint != nil {
+		return runSharded(cfg.Blueprint, cfg.Seed, cfg.Parallelism, cfg.ResolverBlock,
+			func(u *resolver.Universe, vp *resolver.Vantage) []SingleQuerySample {
+				return singleQueryShardBody(u, vp, cfg)
+			})
+	}
 	u := cfg.Universe
 	perVantage := make([][]SingleQuerySample, len(u.Vantages))
 	for i, vp := range u.Vantages {
 		i, vp := i, vp
 		u.W.Go(func() {
-			runner := newVantageRunner(u, vp, cfg)
-			for round := 0; round < cfg.Rounds; round++ {
-				for idx, res := range u.Resolvers {
-					for _, proto := range cfg.Protocols {
-						s := runner.measureOne(idx, res, proto)
-						s.Round = round
-						perVantage[i] = append(perVantage[i], s)
-					}
-				}
-				if round < cfg.Rounds-1 {
-					u.W.Sleep(cfg.RoundInterval)
-				}
-			}
+			perVantage[i] = singleQueryShardBody(u, vp, cfg)
 		})
 	}
 	u.W.Run()
-	var all []SingleQuerySample
-	for _, s := range perVantage {
-		all = append(all, s...)
+	return campaign.Concat(perVantage), nil
+}
+
+// singleQueryShardBody is the serial measurement loop of one shard: all
+// rounds over the universe's resolver partition from one vantage. It
+// runs as a task inside u's World.
+func singleQueryShardBody(u *resolver.Universe, vp *resolver.Vantage, cfg SingleQueryConfig) []SingleQuerySample {
+	runner := newVantageRunner(u, vp, cfg)
+	var out []SingleQuerySample
+	for round := 0; round < cfg.Rounds; round++ {
+		for idx, res := range u.Resolvers {
+			for _, proto := range cfg.Protocols {
+				s := runner.measureOne(u.GlobalResolverIdx(idx), res, proto)
+				s.Round = round
+				out = append(out, s)
+			}
+		}
+		if round < cfg.Rounds-1 {
+			u.W.Sleep(cfg.RoundInterval)
+		}
 	}
-	return all
+	return out
 }
 
 // vantageRunner holds the per-vantage client state (session caches carry
@@ -168,11 +262,13 @@ func (r *vantageRunner) options(res *resolver.Resolver, proto dox.Protocol, warm
 }
 
 // measureOne performs warming + measured query for one combination.
-func (r *vantageRunner) measureOne(idx int, res *resolver.Resolver, proto dox.Protocol) SingleQuerySample {
+// globalIdx is the resolver's blueprint-global index, recorded in the
+// sample so partitioned and whole-universe runs report identically.
+func (r *vantageRunner) measureOne(globalIdx int, res *resolver.Resolver, proto dox.Protocol) SingleQuerySample {
 	s := SingleQuerySample{
 		Vantage:           r.vp.Name,
 		VantageContinent:  r.vp.Continent,
-		ResolverIdx:       idx,
+		ResolverIdx:       globalIdx,
 		ResolverContinent: res.Place.Continent,
 		Protocol:          proto,
 	}
@@ -240,7 +336,21 @@ type WebSample struct {
 
 // WebConfig parameterizes the web campaign.
 type WebConfig struct {
-	Universe  *resolver.Universe
+	// Universe runs the campaign inside one pre-built World (legacy
+	// single-shard path). Mutually exclusive with Blueprint.
+	Universe *resolver.Universe
+	// Blueprint selects the sharded path (see SingleQueryConfig).
+	Blueprint *resolver.Blueprint
+	// Seed is the campaign seed for the sharded path (default: the
+	// blueprint's seed).
+	Seed int64
+	// Parallelism caps the worker pool (0 = GOMAXPROCS); results do not
+	// depend on it.
+	Parallelism int
+	// ResolverBlock is the shard granularity in resolvers (default 4;
+	// web combinations are far more expensive than single queries).
+	ResolverBlock int
+
 	Protocols []dox.Protocol
 	Pages     []*pages.Page
 	// Loads is the number of measured cold-start loads per combination
@@ -268,36 +378,52 @@ func (c *WebConfig) defaults() {
 	if c.LoadTimeout == 0 {
 		c.LoadTimeout = 60 * time.Second
 	}
+	if c.ResolverBlock == 0 {
+		c.ResolverBlock = 4
+	}
+	if c.Seed == 0 && c.Blueprint != nil {
+		c.Seed = c.Blueprint.Seed
+	}
 }
 
-// RunWeb executes the web campaign and returns all samples.
-func RunWeb(cfg WebConfig) []WebSample {
+// RunWeb executes the web campaign and returns all samples, ordered by
+// (vantage, resolver block, resolver, protocol, page, load).
+func RunWeb(cfg WebConfig) ([]WebSample, error) {
 	cfg.defaults()
+	if cfg.Blueprint != nil {
+		return runSharded(cfg.Blueprint, cfg.Seed, cfg.Parallelism, cfg.ResolverBlock,
+			func(u *resolver.Universe, vp *resolver.Vantage) []WebSample {
+				return webShardBody(u, vp, cfg)
+			})
+	}
 	u := cfg.Universe
 	perVantage := make([][]WebSample, len(u.Vantages))
-	for vpIdx, vp := range u.Vantages {
-		vp := vp
-		vpIdx := vpIdx
+	for i, vp := range u.Vantages {
+		i, vp := i, vp
 		u.W.Go(func() {
-			for idx, res := range u.Resolvers {
-				for _, proto := range cfg.Protocols {
-					perVantage[vpIdx] = append(perVantage[vpIdx], runWebCombo(u, vp, vpIdx, idx, res, proto, cfg)...)
-				}
-			}
+			perVantage[i] = webShardBody(u, vp, cfg)
 		})
 	}
 	u.W.Run()
-	var all []WebSample
-	for _, s := range perVantage {
-		all = append(all, s...)
+	return campaign.Concat(perVantage), nil
+}
+
+// webShardBody measures every [resolver:protocol] combination of the
+// universe's partition from one vantage. It runs as a task in u's World.
+func webShardBody(u *resolver.Universe, vp *resolver.Vantage, cfg WebConfig) []WebSample {
+	var out []WebSample
+	for idx, res := range u.Resolvers {
+		for _, proto := range cfg.Protocols {
+			out = append(out, runWebCombo(u, vp, u.GlobalResolverIdx(idx), res, proto, cfg)...)
+		}
 	}
-	return all
+	return out
 }
 
 // runWebCombo measures all pages for one [vantage:resolver:protocol].
-func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, vpIdx, idx int, res *resolver.Resolver, proto dox.Protocol, cfg WebConfig) []WebSample {
+func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, res *resolver.Resolver, proto dox.Protocol, cfg WebConfig) []WebSample {
 	// A fresh proxy per combination, as the paper sets DNS Proxy up anew.
-	listenPort := uint16(10000 + vpIdx)
+	listenPort := uint16(10000 + vp.Index)
 	proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
 		Upstream: proto,
 		Options: dox.Options{
@@ -327,7 +453,7 @@ func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, vpIdx, idx int, res
 			s := WebSample{
 				Vantage:          vp.Name,
 				VantageContinent: vp.Continent,
-				ResolverIdx:      idx,
+				ResolverIdx:      globalIdx,
 				Protocol:         proto,
 				Page:             page.Name,
 				Load:             load,

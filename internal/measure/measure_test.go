@@ -37,7 +37,10 @@ func medianBy(samples []SingleQuerySample, proto dox.Protocol, f func(SingleQuer
 
 func TestSingleQueryCampaignShape(t *testing.T) {
 	u := smallUniverse(t, 11)
-	samples := RunSingleQuery(SingleQueryConfig{Universe: u})
+	samples, err := RunSingleQuery(SingleQueryConfig{Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
 	okCount := 0
 	for _, s := range samples {
 		if s.OK {
@@ -81,7 +84,10 @@ func TestSingleQueryCampaignShape(t *testing.T) {
 
 func TestSingleQueryUsesResumptionAndTokens(t *testing.T) {
 	u := smallUniverse(t, 12)
-	samples := RunSingleQuery(SingleQueryConfig{Universe: u, Protocols: []dox.Protocol{dox.DoQ, dox.DoT, dox.DoH}})
+	samples, err := RunSingleQuery(SingleQueryConfig{Universe: u, Protocols: []dox.Protocol{dox.DoQ, dox.DoT, dox.DoH}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	resumed, zeroRTT, tokens, vn := 0, 0, 0, 0
 	ok := 0
 	tls13 := 0
@@ -133,11 +139,17 @@ func TestSingleQueryUsesResumptionAndTokens(t *testing.T) {
 // and draft-version resolvers cost a Version Negotiation round trip.
 func TestE10NoResumptionSlowsDoQ(t *testing.T) {
 	u1 := smallUniverse(t, 13)
-	with := RunSingleQuery(SingleQueryConfig{Universe: u1, Protocols: []dox.Protocol{dox.DoQ}})
+	with, err := RunSingleQuery(SingleQueryConfig{Universe: u1, Protocols: []dox.Protocol{dox.DoQ}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	u2 := smallUniverse(t, 13)
-	without := RunSingleQuery(SingleQueryConfig{
+	without, err := RunSingleQuery(SingleQueryConfig{
 		Universe: u2, Protocols: []dox.Protocol{dox.DoQ}, DisableResumption: true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := func(s SingleQuerySample) time.Duration { return s.Handshake }
 	mWith := medianBy(with, dox.DoQ, hs)
 	mWithout := medianBy(without, dox.DoQ, hs)
@@ -159,9 +171,12 @@ func TestE11ZeroRTT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples := RunSingleQuery(SingleQueryConfig{
+	samples, err := RunSingleQuery(SingleQueryConfig{
 		Universe: u, Protocols: []dox.Protocol{dox.DoQ}, Use0RTT: true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	used := 0
 	okCount := 0
 	for _, s := range samples {
@@ -190,12 +205,15 @@ func TestWebCampaignShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := []*pages.Page{pages.ByName("wikipedia"), pages.ByName("youtube")}
-	samples := RunWeb(WebConfig{
+	samples, err := RunWeb(WebConfig{
 		Universe:  u,
 		Protocols: []dox.Protocol{dox.DoUDP, dox.DoQ, dox.DoH},
 		Pages:     ps,
 		Loads:     2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 6 * 2 * 3 * 2 * 2 // vantages * resolvers * protocols * pages * loads
 	if len(samples) != want {
 		t.Fatalf("sample count = %d, want %d", len(samples), want)

@@ -66,6 +66,13 @@ type Network struct {
 
 	// Delivered and Dropped count datagrams for diagnostics.
 	Delivered, Dropped int
+
+	// Trace, when set, observes every datagram send before the loss and
+	// jitter draws. It exists for determinism debugging: diffing the
+	// packet traces of two same-seed runs pinpoints the first diverging
+	// event. Per-Network (not global) so that concurrent shard Worlds
+	// never share a trace sink.
+	Trace func(d Datagram, now time.Duration)
 }
 
 type pathKey struct{ src, dst netip.Addr }
@@ -125,6 +132,9 @@ func (n *Network) Host(addr netip.Addr) *Host {
 // send routes a datagram, applying the path model. Unknown destinations
 // and lossy drops are counted in Dropped.
 func (n *Network) send(d Datagram) {
+	if n.Trace != nil {
+		n.Trace(d, n.World.Now())
+	}
 	p := n.Path(d.Src.Addr(), d.Dst.Addr())
 	mtu := p.MTU
 	if mtu == 0 {

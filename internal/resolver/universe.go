@@ -15,17 +15,25 @@ import (
 type Vantage struct {
 	geo.VantagePoint
 	Host *netem.Host
+	// Index is the vantage's global index in the blueprint (stable across
+	// partitioned instantiations).
+	Index int
 }
 
-// Universe is the full simulated measurement testbed: six vantage points
-// and a population of resolvers placed per the paper's Fig. 1, wired
-// together with distance-derived path delays.
+// Universe is a simulated measurement testbed bound to one World: vantage
+// points and a population of resolvers placed per the paper's Fig. 1,
+// wired together with distance-derived path delays. A Universe may be the
+// whole blueprint or a vantage/resolver partition of it (see
+// Blueprint.Instantiate); Resolvers[i] always has global index
+// ResolverLo+i.
 type Universe struct {
 	W         *sim.World
 	Net       *netem.Network
 	Vantages  []*Vantage
 	Resolvers []*Resolver
 	Rand      *rand.Rand
+	// ResolverLo is the global (blueprint) index of Resolvers[0].
+	ResolverLo int
 }
 
 // UniverseConfig parameterizes testbed construction.
@@ -60,8 +68,25 @@ func ScaledCounts(n int) map[geo.Continent]int {
 	return out
 }
 
-// NewUniverse builds and starts the testbed.
-func NewUniverse(cfg UniverseConfig) (*Universe, error) {
+// Blueprint is the World-free description of a universe: the vantage
+// list, every resolver's place and synthesized profile, and the path
+// parameters. Building the blueprint consumes all construction
+// randomness up front, so one blueprint can be instantiated into many
+// Worlds — whole, or partitioned by vantage and resolver range — with
+// every instantiation seeing exactly the same population. Blueprints are
+// immutable after construction and safe for concurrent Instantiate
+// calls from parallel campaign shards.
+type Blueprint struct {
+	Seed     int64
+	Loss     float64
+	Jitter   time.Duration
+	Vantages []geo.VantagePoint
+	Profiles []Profile
+}
+
+// NewBlueprint synthesizes the population described by cfg without
+// binding it to a World.
+func NewBlueprint(cfg UniverseConfig) (*Blueprint, error) {
 	if cfg.Loss == 0 {
 		cfg.Loss = 0.003
 	}
@@ -71,43 +96,105 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 	if cfg.Population == (PopulationParams{}) {
 		cfg.Population = DefaultPopulation()
 	}
-	w := sim.NewWorld(cfg.Seed)
-	net := netem.NewNetwork(w)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	u := &Universe{W: w, Net: net, Rand: rng}
-
-	for i, vp := range geo.VantagePoints() {
-		addr := netip.AddrFrom4([4]byte{10, 1, 0, byte(i + 1)})
-		host := net.Host(addr)
-		// Loopback for the local DNS proxy.
-		net.SetPath(addr, addr, netem.PathParams{Delay: 50 * time.Microsecond})
-		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: vp, Host: host})
+	b := &Blueprint{
+		Seed:     cfg.Seed,
+		Loss:     cfg.Loss,
+		Jitter:   cfg.Jitter,
+		Vantages: geo.VantagePoints(),
 	}
-
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	places := geo.PlaceResolvers(rng, cfg.ResolverCounts)
 	for i, place := range places {
 		addr := netip.AddrFrom4([4]byte{203, byte(i/250) + 1, byte(i % 250), 53})
-		host := net.Host(addr)
 		prof := SynthesizeProfile(rng, fmt.Sprintf("resolver-%03d.%s.example", i, place.Continent), addr, place, cfg.Population)
 		if cfg.MutateProfile != nil {
 			cfg.MutateProfile(&prof)
 		}
-		res, err := Start(host, prof, rand.New(rand.NewSource(cfg.Seed+int64(i)+100)))
+		b.Profiles = append(b.Profiles, prof)
+	}
+	return b, nil
+}
+
+// Scope selects the partition of a blueprint to instantiate. The zero
+// value instantiates everything.
+type Scope struct {
+	// Vantages lists global vantage indices to include; nil means all.
+	Vantages []int
+	// ResolverLo and ResolverHi bound the global resolver range [Lo, Hi);
+	// Hi == 0 means the whole population.
+	ResolverLo, ResolverHi int
+}
+
+// Instantiate builds a running Universe for the scoped partition inside
+// a fresh World seeded with seed. Everything that identifies a resolver
+// (address, profile, server randomness) is keyed by its global index, so
+// a resolver behaves identically whether it is instantiated as part of
+// the full universe or inside a single-shard partition.
+func (b *Blueprint) Instantiate(seed int64, sc Scope) (*Universe, error) {
+	w := sim.NewWorld(seed)
+	net := netem.NewNetwork(w)
+	u := &Universe{
+		W:   w,
+		Net: net,
+		// The client-side random stream is derived, not seed-adjacent, so
+		// shard worlds do not correlate with each other.
+		Rand: rand.New(rand.NewSource(sim.DeriveSeed(seed, 0xC11E47))),
+	}
+
+	vantages := sc.Vantages
+	if vantages == nil {
+		vantages = make([]int, len(b.Vantages))
+		for i := range vantages {
+			vantages[i] = i
+		}
+	}
+	for _, i := range vantages {
+		addr := netip.AddrFrom4([4]byte{10, 1, 0, byte(i + 1)})
+		host := net.Host(addr)
+		// Loopback for the local DNS proxy.
+		net.SetPath(addr, addr, netem.PathParams{Delay: 50 * time.Microsecond})
+		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: b.Vantages[i], Host: host, Index: i})
+	}
+
+	lo, hi := sc.ResolverLo, sc.ResolverHi
+	if hi <= 0 || hi > len(b.Profiles) {
+		hi = len(b.Profiles)
+	}
+	u.ResolverLo = lo
+	for gi := lo; gi < hi; gi++ {
+		prof := b.Profiles[gi]
+		host := net.Host(prof.Addr)
+		res, err := Start(host, prof, rand.New(rand.NewSource(b.Seed+int64(gi)+100)))
 		if err != nil {
 			return nil, err
 		}
 		u.Resolvers = append(u.Resolvers, res)
 		for _, v := range u.Vantages {
-			delay := geo.OneWayDelay(v.Coord, place.Coord)
-			u.Net.SetSymmetricPath(v.Host.Addr(), addr, netem.PathParams{
+			delay := geo.OneWayDelay(v.Coord, prof.Place.Coord)
+			u.Net.SetSymmetricPath(v.Host.Addr(), prof.Addr, netem.PathParams{
 				Delay:  delay,
-				Jitter: cfg.Jitter,
-				Loss:   cfg.Loss,
+				Jitter: b.Jitter,
+				Loss:   b.Loss,
 			})
 		}
 	}
 	return u, nil
 }
+
+// NewUniverse builds and starts the full testbed in one World — the
+// single-shard convenience path used by tests and examples. Sharded
+// campaigns build a Blueprint once and Instantiate partitions of it.
+func NewUniverse(cfg UniverseConfig) (*Universe, error) {
+	b, err := NewBlueprint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return b.Instantiate(cfg.Seed, Scope{})
+}
+
+// GlobalResolverIdx translates a local index into Resolvers to the
+// resolver's global index in the blueprint.
+func (u *Universe) GlobalResolverIdx(i int) int { return u.ResolverLo + i }
 
 // PathRTT returns the configured round-trip time between a vantage and a
 // resolver (without jitter).

@@ -8,6 +8,11 @@
 //
 //	1216 DoQ resolvers -> DoUDP 548 / DoTCP 706 / DoT 1149 / DoH 732
 //	-> 313 supporting every protocol ("verified DoX resolvers").
+//
+// The funnel runs as a sharded campaign (RunFunnel): the population is
+// planned once, split into contiguous target blocks, and each block is
+// probed inside its own World on the internal/campaign worker pool; the
+// per-shard funnels merge additively, independent of parallelism.
 package scan
 
 import (
@@ -17,6 +22,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
@@ -190,21 +196,36 @@ type Population struct {
 	Spec    PopulationSpec
 }
 
-// BuildPopulation creates and starts the target hosts on net. Targets are
-// deliberately lightweight resolvers (static answer, no recursion).
-func BuildPopulation(net *netem.Network, rng *rand.Rand, spec PopulationSpec) (*Population, error) {
-	w := net.World
-	pop := &Population{Spec: spec}
+// targetKind classifies a planned scan target.
+type targetKind uint8
+
+const (
+	kindDoQ targetKind = iota
+	kindQUICNonDoQ
+	kindDeaf
+)
+
+// TargetPlan is the World-free description of one scan target: its
+// address, port, protocol support, and place. Planning consumes all
+// population randomness up front so that any contiguous block of the
+// plan can be instantiated inside a private shard World.
+type TargetPlan struct {
+	Addr     netip.Addr
+	DoQPort  uint16
+	Kind     targetKind
+	Supports map[dox.Protocol]bool
+	Place    geo.Place
+}
+
+// PlanPopulation draws the full scan population from rng without
+// touching a World.
+func PlanPopulation(rng *rand.Rand, spec PopulationSpec) ([]TargetPlan, error) {
 	support, err := AssignSupport(rng, spec)
 	if err != nil {
 		return nil, err
 	}
 	places := geo.PlaceResolvers(rng, scaledGeoCounts(spec.DoQResolvers))
-	answer := func(q *dnsmsg.Message, _ dox.Protocol, _ netip.AddrPort) *dnsmsg.Message {
-		r := dnsmsg.Reply(*q)
-		r.AnswerA(netip.AddrFrom4([4]byte{198, 18, 0, 1}), 300)
-		return &r
-	}
+	var plans []TargetPlan
 	next := 0
 	addrFor := func() netip.Addr {
 		a := netip.AddrFrom4([4]byte{100, byte(64 + next/60000), byte(next / 250 % 240), byte(next % 250)})
@@ -212,8 +233,6 @@ func BuildPopulation(net *netem.Network, rng *rand.Rand, spec PopulationSpec) (*
 		return a
 	}
 	for i := 0; i < spec.DoQResolvers; i++ {
-		addr := addrFor()
-		host := net.Host(addr)
 		port := DoQPorts[1] // 853 dominates
 		switch {
 		case rng.Float64() < 0.06:
@@ -221,69 +240,110 @@ func BuildPopulation(net *netem.Network, rng *rand.Rand, spec PopulationSpec) (*
 		case rng.Float64() < 0.06:
 			port = DoQPorts[2]
 		}
-		tgt := &Target{
-			Addr:     addr,
+		plans = append(plans, TargetPlan{
+			Addr:     addrFor(),
 			DoQPort:  port,
-			IsDoQ:    true,
+			Kind:     kindDoQ,
 			Supports: support[i],
 			Place:    places[i%len(places)],
-		}
-		cfg := dox.ServerConfig{
-			Handler:     answer,
-			Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("scan-%d", i), 1100),
-			TicketStore: tlsmini.NewTicketStore(),
-			DoQPort:     port,
-			Rand:        rng,
-			Now:         w.Now,
-		}
-		srv := dox.NewServer(host, cfg)
-		if err := srv.ServeDoQ(); err != nil {
-			return nil, err
-		}
-		if tgt.Supports[dox.DoUDP] {
-			if err := srv.ServeUDP(); err != nil {
-				return nil, err
-			}
-		}
-		if tgt.Supports[dox.DoTCP] {
-			if err := srv.ServeTCP(); err != nil {
-				return nil, err
-			}
-		}
-		if tgt.Supports[dox.DoT] {
-			if err := srv.ServeDoT(); err != nil {
-				return nil, err
-			}
-		}
-		if tgt.Supports[dox.DoH] {
-			if err := srv.ServeDoH(); err != nil {
-				return nil, err
-			}
-		}
-		pop.Targets = append(pop.Targets, tgt)
+		})
 	}
 	for i := 0; i < spec.QUICNonDoQ; i++ {
-		addr := addrFor()
-		host := net.Host(addr)
-		// QUIC speaker without the DoQ ALPN (an HTTP/3 frontend).
-		_, err := quic.Listen(host, 853, quic.Config{
-			ALPN:        []string{"h3"},
-			Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("h3-%d", i), 1100),
-			TicketStore: tlsmini.NewTicketStore(),
-			Rand:        rng,
-			Now:         w.Now,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pop.Targets = append(pop.Targets, &Target{Addr: addr, DoQPort: 853})
+		plans = append(plans, TargetPlan{Addr: addrFor(), DoQPort: 853, Kind: kindQUICNonDoQ})
 	}
 	for i := 0; i < spec.Deaf; i++ {
-		addr := addrFor()
-		net.Host(addr) // exists, but nothing listens
-		pop.Targets = append(pop.Targets, &Target{Addr: addr})
+		plans = append(plans, TargetPlan{Addr: addrFor(), Kind: kindDeaf})
 	}
-	return pop, nil
+	return plans, nil
+}
+
+// BuildTargets instantiates plans[lo:hi] as running hosts on net. Each
+// target's identity randomness derives from (seed, global plan index),
+// so a target behaves identically whether it is built as part of the
+// whole population or inside a single shard's partition.
+func BuildTargets(net *netem.Network, seed int64, plans []TargetPlan, lo, hi int) ([]*Target, error) {
+	w := net.World
+	answer := func(q *dnsmsg.Message, _ dox.Protocol, _ netip.AddrPort) *dnsmsg.Message {
+		r := dnsmsg.Reply(*q)
+		r.AnswerA(netip.AddrFrom4([4]byte{198, 18, 0, 1}), 300)
+		return &r
+	}
+	var targets []*Target
+	for gi := lo; gi < hi; gi++ {
+		p := plans[gi]
+		host := net.Host(p.Addr)
+		rng := rand.New(rand.NewSource(sim.DeriveSeed(seed, uint64(gi))))
+		switch p.Kind {
+		case kindDoQ:
+			tgt := &Target{
+				Addr:     p.Addr,
+				DoQPort:  p.DoQPort,
+				IsDoQ:    true,
+				Supports: p.Supports,
+				Place:    p.Place,
+			}
+			cfg := dox.ServerConfig{
+				Handler:     answer,
+				Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("scan-%d", gi), 1100),
+				TicketStore: tlsmini.NewTicketStore(),
+				DoQPort:     p.DoQPort,
+				Rand:        rng,
+				Now:         w.Now,
+			}
+			srv := dox.NewServer(host, cfg)
+			type ent struct {
+				on bool
+				fn func() error
+			}
+			for _, e := range []ent{
+				{true, srv.ServeDoQ},
+				{tgt.Supports[dox.DoUDP], srv.ServeUDP},
+				{tgt.Supports[dox.DoTCP], srv.ServeTCP},
+				{tgt.Supports[dox.DoT], srv.ServeDoT},
+				{tgt.Supports[dox.DoH], srv.ServeDoH},
+			} {
+				if !e.on {
+					continue
+				}
+				if err := e.fn(); err != nil {
+					return nil, err
+				}
+			}
+			targets = append(targets, tgt)
+		case kindQUICNonDoQ:
+			// QUIC speaker without the DoQ ALPN (an HTTP/3 frontend).
+			_, err := quic.Listen(host, 853, quic.Config{
+				ALPN:        []string{"h3"},
+				Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("h3-%d", gi), 1100),
+				TicketStore: tlsmini.NewTicketStore(),
+				Rand:        rng,
+				Now:         w.Now,
+			})
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, &Target{Addr: p.Addr, DoQPort: 853})
+		case kindDeaf:
+			targets = append(targets, &Target{Addr: p.Addr}) // host exists, nothing listens
+		}
+	}
+	return targets, nil
+}
+
+// BuildPopulation creates and starts every target host on net — the
+// single-World convenience path. Targets are deliberately lightweight
+// resolvers (static answer, no recursion). Sharded scans plan once and
+// build per-shard blocks via RunFunnel.
+func BuildPopulation(net *netem.Network, rng *rand.Rand, spec PopulationSpec) (*Population, error) {
+	plans, err := PlanPopulation(rng, spec)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := BuildTargets(net, rng.Int63(), plans, 0, len(plans))
+	if err != nil {
+		return nil, err
+	}
+	return &Population{Targets: targets, Spec: spec}, nil
 }
 
 func scaledGeoCounts(n int) map[geo.Continent]int {
@@ -307,6 +367,87 @@ type FunnelResult struct {
 	Verified       int // full intersection
 	ByContinent    map[geo.Continent]int
 	ByASN          map[string]int
+}
+
+// FunnelConfig parameterizes a sharded scan campaign.
+type FunnelConfig struct {
+	Seed int64
+	Spec PopulationSpec
+	// Parallelism caps the worker pool (0 = GOMAXPROCS); it never
+	// affects the funnel result.
+	Parallelism int
+	// TargetBlock is the shard granularity in targets (default 256).
+	// Part of the shard plan (changing it changes shard seeds).
+	TargetBlock int
+	// PathDelay is the uniform probe path delay (default 40ms, no loss —
+	// the funnel must be exact).
+	PathDelay time.Duration
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// RunFunnel executes the discovery scan as a sharded campaign: the
+// population is planned once (a pure function of Seed and Spec), split
+// into contiguous target blocks, and every block is probed inside a
+// private World on the campaign worker pool. Per-shard funnels merge
+// additively in shard order, so the result is identical at any
+// parallelism level.
+func RunFunnel(cfg FunnelConfig) (FunnelResult, error) {
+	if cfg.TargetBlock == 0 {
+		cfg.TargetBlock = 256
+	}
+	if cfg.PathDelay == 0 {
+		cfg.PathDelay = 40 * time.Millisecond
+	}
+	planRng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, 0x5CA4)))
+	plans, err := PlanPopulation(planRng, cfg.Spec)
+	if err != nil {
+		return FunnelResult{}, err
+	}
+	identitySeed := sim.DeriveSeed(cfg.Seed, 0x1DE47)
+	blocks := campaign.Blocks(len(plans), cfg.TargetBlock)
+	parts, err := campaign.RunErr(cfg.Seed, len(blocks), cfg.Parallelism, func(s campaign.Shard) (FunnelResult, error) {
+		blk := blocks[s.Index]
+		w := sim.NewWorld(s.Seed)
+		net := netem.NewNetwork(w)
+		net.SetDefaultPath(netem.PathParams{Delay: cfg.PathDelay})
+		targets, err := BuildTargets(net, identitySeed, plans, blk.Lo, blk.Hi)
+		if err != nil {
+			return FunnelResult{}, err
+		}
+		scanner := &Scanner{
+			Host:         net.Host(netip.AddrFrom4([4]byte{10, 99, 0, 1})),
+			Rand:         rand.New(rand.NewSource(sim.DeriveSeed(s.Seed, 0x5C))),
+			ProbeTimeout: cfg.ProbeTimeout,
+		}
+		var res FunnelResult
+		w.Go(func() { res = scanner.Run(&Population{Targets: targets, Spec: cfg.Spec}) })
+		w.Run()
+		return res, nil
+	})
+	if err != nil {
+		return FunnelResult{}, err
+	}
+	var merged FunnelResult
+	merged.Support = map[dox.Protocol]int{}
+	merged.ByContinent = map[geo.Continent]int{}
+	merged.ByASN = map[string]int{}
+	for _, res := range parts {
+		merged.Probed += res.Probed
+		merged.QUICResponsive += res.QUICResponsive
+		merged.DoQVerified += res.DoQVerified
+		merged.Verified += res.Verified
+		for proto, n := range res.Support {
+			merged.Support[proto] += n
+		}
+		for c, n := range res.ByContinent {
+			merged.ByContinent[c] += n
+		}
+		for as, n := range res.ByASN {
+			merged.ByASN[as] += n
+		}
+	}
+	return merged, nil
 }
 
 // Scanner runs the discovery pipeline from one host.

@@ -3,6 +3,7 @@ package scan
 import (
 	"math/rand"
 	"net/netip"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -141,5 +142,50 @@ func TestFunnelSmallPopulation(t *testing.T) {
 	}
 	if res.Verified != spec.FullIntersection {
 		t.Errorf("verified = %d, want %d", res.Verified, spec.FullIntersection)
+	}
+}
+
+// TestFunnelShardedMatchesSpec runs the sharded funnel and expects the
+// lossless scan to recover the spec exactly, like the single-World path.
+func TestFunnelShardedMatchesSpec(t *testing.T) {
+	spec := PaperSpec().Scaled(16)
+	res, err := RunFunnel(FunnelConfig{Seed: 9, Spec: spec, Parallelism: 4, TargetBlock: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DoQVerified != spec.DoQResolvers {
+		t.Errorf("DoQ verified = %d, want %d", res.DoQVerified, spec.DoQResolvers)
+	}
+	if res.Verified != spec.FullIntersection {
+		t.Errorf("verified = %d, want %d", res.Verified, spec.FullIntersection)
+	}
+	for p, want := range spec.Support {
+		if res.Support[p] != want {
+			t.Errorf("%v = %d, want %d", p, res.Support[p], want)
+		}
+	}
+}
+
+// TestFunnelDeterministicAcrossParallelism enforces the engine guarantee
+// on the scan: identical funnels (including the per-continent and per-AS
+// maps) at parallelism 1 and N.
+func TestFunnelDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) FunnelResult {
+		res, err := RunFunnel(FunnelConfig{
+			Seed:        9,
+			Spec:        PaperSpec().Scaled(16),
+			Parallelism: par,
+			TargetBlock: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, par := range []int{2, 8} {
+		if got := run(par); !reflect.DeepEqual(base, got) {
+			t.Fatalf("parallelism %d funnel differs:\n1: %+v\n%d: %+v", par, base, par, got)
+		}
 	}
 }

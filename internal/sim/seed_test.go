@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(2022, 3, 7)
+	b := DeriveSeed(2022, 3, 7)
+	if a != b {
+		t.Fatalf("same inputs, different seeds: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := DeriveSeed(2022, 3, 7)
+	variants := []int64{
+		DeriveSeed(2023, 3, 7), // root changed
+		DeriveSeed(2022, 4, 7), // first component changed
+		DeriveSeed(2022, 3, 8), // second component changed
+		DeriveSeed(2022, 7, 3), // components swapped
+		DeriveSeed(2022, 3),    // shorter path
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
+// TestDeriveSeedDecorrelatesNeighbors guards against the failure mode of
+// seed+i schemes: adjacent shard indices must not produce adjacent or
+// equal seeds.
+func TestDeriveSeedDecorrelatesNeighbors(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		s := DeriveSeed(1, i)
+		if seen[s] {
+			t.Fatalf("collision at index %d", i)
+		}
+		seen[s] = true
+		if n := DeriveSeed(1, i+1); n == s+1 || n == s-1 || n == s {
+			t.Fatalf("indices %d and %d derive adjacent seeds", i, i+1)
+		}
+	}
+}

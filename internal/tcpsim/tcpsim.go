@@ -18,7 +18,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"maps"
 	"net/netip"
+	"slices"
 	"time"
 
 	"repro/internal/netem"
@@ -434,8 +436,10 @@ func (l *Listener) demux() {
 	for {
 		d, ok := l.sock.Recv()
 		if !ok {
-			for _, c := range l.conns {
-				c.incoming.Close()
+			// Close connections in a fixed (peer-address) order: map
+			// iteration order would wake blocked tasks nondeterministically.
+			for _, ap := range slices.SortedFunc(maps.Keys(l.conns), netip.AddrPort.Compare) {
+				l.conns[ap].incoming.Close()
 			}
 			l.acceptQ.Close()
 			return

@@ -179,7 +179,13 @@ func (e *Engine) hashMsg(m Message) []byte {
 func (e *Engine) transcriptHash() []byte { return e.transcript.Sum(nil) }
 
 func (e *Engine) genKeyShare() [32]byte {
-	priv, err := ecdh.X25519().GenerateKey(e.cfg.Rand)
+	// ecdh.GenerateKey draws from the system DRBG regardless of the
+	// reader passed to it (Go 1.24 FIPS 140-3 rework), which would make
+	// handshakes unreproducible. Draw the X25519 scalar from the
+	// deterministic stream instead; the curve clamps it during ECDH.
+	var scalar [32]byte
+	e.cfg.Rand.Read(scalar[:])
+	priv, err := ecdh.X25519().NewPrivateKey(scalar[:])
 	if err != nil {
 		panic(err)
 	}
