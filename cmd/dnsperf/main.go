@@ -3,11 +3,16 @@
 // session with TLS Session Resumption, the cached QUIC version and the
 // address-validation token.
 //
+// Campaigns execute as sharded parallel campaigns: -parallel N sizes the
+// worker pool (default GOMAXPROCS) and scales wall time only — for a
+// fixed seed, stdout is byte-identical at any -parallel level (timings
+// go to stderr).
+//
 // Usage:
 //
-//	dnsperf [-resolvers N] [-rounds N] [-seed N]
+//	dnsperf [-resolvers N] [-rounds N] [-seed N] [-parallel N]
 //	        [-handshake] [-resolve] [-sizes] [-versions]
-//	        [-no-resumption] [-zero-rtt]
+//	        [-no-resumption] [-zero-rtt] [-doh3]
 //
 // Without selection flags it prints all four reports.
 package main
@@ -16,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -24,18 +31,26 @@ func main() {
 	resolvers := flag.Int("resolvers", 48, "verified resolver population (paper: 313)")
 	rounds := flag.Int("rounds", 1, "campaign rounds (paper: 84, every 2h for a week)")
 	seed := flag.Int64("seed", 2022, "simulation seed")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS; affects speed, never results)")
 	handshake := flag.Bool("handshake", false, "Fig. 2a handshake-time matrix")
 	resolve := flag.Bool("resolve", false, "Fig. 2b resolve-time matrix")
 	sizes := flag.Bool("sizes", false, "Table 1 size medians")
 	versions := flag.Bool("versions", false, "§3 version/feature shares")
 	noResumption := flag.Bool("no-resumption", false, "E10 ablation: cold sessions")
 	zeroRTT := flag.Bool("zero-rtt", false, "E11 ablation: 0-RTT resolvers")
+	doh3 := flag.Bool("doh3", false, "E13/E14: sixth-transport (DoH3) sizes and timing")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Seed = *seed
 	cfg.Resolvers = *resolvers
 	cfg.Rounds = *rounds
+	cfg.Parallelism = *parallel
+	if *parallel > 0 {
+		// -parallel N is a CPU budget: capping GOMAXPROCS bounds actual
+		// simultaneous shard execution at N.
+		runtime.GOMAXPROCS(*parallel)
+	}
 	runner := experiments.NewRunner(cfg)
 
 	ids := []string{}
@@ -57,9 +72,13 @@ func main() {
 	if *zeroRTT {
 		ids = append(ids, "E11")
 	}
+	if *doh3 {
+		ids = append(ids, "E13", "E14")
+	}
 	if len(ids) == 0 {
 		ids = []string{"E3", "E4", "E5", "E6"}
 	}
+	start := time.Now()
 	for _, id := range ids {
 		e, _ := experiments.ByID(id)
 		out, err := e.Run(runner)
@@ -69,4 +88,5 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+	fmt.Fprintf(os.Stderr, "%d reports in %.1fs\n", len(ids), time.Since(start).Seconds())
 }

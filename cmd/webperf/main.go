@@ -3,16 +3,23 @@
 // loaded with each DNS transport as the local proxy's upstream, and the
 // relative FCP/PLT differences are reported as in Fig. 3 and Fig. 4.
 //
+// Campaigns execute as sharded parallel campaigns: -parallel N sizes the
+// worker pool (default GOMAXPROCS) and scales wall time only — for a
+// fixed seed, stdout is byte-identical at any -parallel level (timings
+// go to stderr).
+//
 // Usage:
 //
-//	webperf [-resolvers N] [-loads N] [-pages N] [-seed N]
-//	        [-fcp] [-plt] [-grid] [-dot-fixed]
+//	webperf [-resolvers N] [-loads N] [-pages N] [-seed N] [-parallel N]
+//	        [-fcp] [-plt] [-grid] [-dot-fixed] [-doh3]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -22,10 +29,12 @@ func main() {
 	loads := flag.Int("loads", 2, "measured loads per combination (paper: 4)")
 	pagesN := flag.Int("pages", 10, "number of Tranco pages")
 	seed := flag.Int64("seed", 2022, "simulation seed")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS; affects speed, never results)")
 	fcp := flag.Bool("fcp", false, "Fig. 3a FCP CDFs")
 	plt := flag.Bool("plt", false, "Fig. 3b PLT CDFs")
 	grid := flag.Bool("grid", false, "Fig. 4 vantage-by-page grid")
 	dotFixed := flag.Bool("dot-fixed", false, "E12 ablation: DoT proxy bug vs fix")
+	doh3 := flag.Bool("doh3", false, "E15: PLT grid with DoH3 baseline")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -33,6 +42,10 @@ func main() {
 	cfg.WebResolvers = *resolvers
 	cfg.WebLoads = *loads
 	cfg.WebPages = *pagesN
+	cfg.Parallelism = *parallel
+	if *parallel > 0 {
+		runtime.GOMAXPROCS(*parallel)
+	}
 	runner := experiments.NewRunner(cfg)
 
 	ids := []string{}
@@ -48,9 +61,13 @@ func main() {
 	if *dotFixed {
 		ids = append(ids, "E12")
 	}
+	if *doh3 {
+		ids = append(ids, "E15")
+	}
 	if len(ids) == 0 {
 		ids = []string{"E7", "E8", "E9"}
 	}
+	start := time.Now()
 	for _, id := range ids {
 		e, _ := experiments.ByID(id)
 		out, err := e.Run(runner)
@@ -60,4 +77,5 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+	fmt.Fprintf(os.Stderr, "%d reports in %.1fs\n", len(ids), time.Since(start).Seconds())
 }

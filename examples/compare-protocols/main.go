@@ -1,6 +1,7 @@
 // compare-protocols issues the paper's single-query measurement over all
-// five DNS transports against the same resolver and prints the handshake
-// and resolve times side by side — a miniature of Fig. 2 and Table 1.
+// six DNS transports (the paper's five plus DoH3) against the same
+// resolver and prints the handshake and resolve times side by side — a
+// miniature of Fig. 2 and Table 1 with the E14 comparison riding along.
 //
 // The run follows the paper's methodology: a cache-warming query first
 // (which also provisions the TLS session ticket and QUIC token), then a
@@ -32,10 +33,14 @@ func main() {
 		"proto", "handshake", "resolve", "hs B up", "hs B dn", "notes")
 
 	sessions := tlsmini.NewSessionCache()
-	quicSessions := dox.NewQUICSessionStore()
+	// One store per QUIC transport: the stored state includes the ALPN.
+	quicSessions := map[dox.Protocol]*dox.QUICSessionStore{
+		dox.DoQ:  dox.NewQUICSessionStore(),
+		dox.DoH3: dox.NewQUICSessionStore(),
+	}
 
 	u.W.Go(func() {
-		for _, proto := range dox.Protocols {
+		for _, proto := range dox.AllProtocols {
 			opts := dox.Options{
 				Host:         vp.Host,
 				Resolver:     res.Addr,
@@ -52,14 +57,14 @@ func main() {
 			}
 			q := dnsmsg.NewQuery(1, "google.com", dnsmsg.TypeA)
 			warm.Query(&q)
-			if proto == dox.DoQ {
-				quicSessions.Remember(res.Addr, warm)
+			if st := quicSessions[proto]; st != nil {
+				st.Remember(res.Addr, warm)
 			}
 			warm.Close()
 
 			// Measured exchange on a fresh (resumed) session.
-			if proto == dox.DoQ {
-				quicSessions.Apply(res.Addr, &opts)
+			if st := quicSessions[proto]; st != nil {
+				st.Apply(res.Addr, &opts)
 			}
 			c, err := dox.Connect(proto, opts)
 			if err != nil {
@@ -92,7 +97,7 @@ func main() {
 	})
 	u.W.Run()
 
-	fmt.Println("\nexpected shape (paper Fig. 2): DoTCP ~ DoQ ~ 1 RTT handshakes,")
+	fmt.Println("\nexpected shape (paper Fig. 2): DoTCP ~ DoQ ~ DoH3 ~ 1 RTT handshakes,")
 	fmt.Println("DoH ~ DoT ~ 2 RTT; resolve ~ 1 RTT for every protocol on a warm cache.")
 }
 

@@ -6,9 +6,9 @@
 // paper) are modeled explicitly:
 //
 //   - Session carry-over: TLS session tickets, QUIC address-validation
-//     tokens and the negotiated QUIC version survive ResetSessions, so
-//     the measured navigation resumes sessions exactly as the paper's
-//     patched proxy does.
+//     tokens and the negotiated QUIC version (for the QUIC transports,
+//     DoQ and DoH3) survive ResetSessions, so the measured navigation
+//     resumes sessions exactly as the paper's patched proxy does.
 //   - The DoT in-flight bug (paper §3.2): when a query arrives while
 //     another DoT query is still in flight, the proxy opens a new
 //     connection — repeating the full transport+TLS handshake — instead
@@ -148,11 +148,17 @@ func (p *Proxy) client() (c dox.Client, transient bool, err error) {
 	return p.primary, false, err
 }
 
+// quicUpstream reports whether the upstream rides QUIC (and therefore
+// carries token/version/ALPN state across ResetSessions).
+func (p *Proxy) quicUpstream() bool {
+	return p.cfg.Upstream == dox.DoQ || p.cfg.Upstream == dox.DoH3
+}
+
 func (p *Proxy) connect() (dox.Client, error) {
 	o := p.cfg.Options
 	o.Host = p.host
 	o.SessionCache = p.sessions
-	if p.cfg.Upstream == dox.DoQ {
+	if p.quicUpstream() {
 		p.quicSess.Apply(o.Resolver, &o)
 		if p.cfg.Use0RTT {
 			o.OfferEarlyData = true
@@ -170,7 +176,7 @@ func (p *Proxy) connect() (dox.Client, error) {
 // the cache-warming navigation and the measurement navigation.
 func (p *Proxy) ResetSessions() {
 	if p.primary != nil {
-		if p.cfg.Upstream == dox.DoQ {
+		if p.quicUpstream() {
 			p.quicSess.Remember(p.cfg.Options.Resolver, p.primary)
 		}
 		p.primary.Close()

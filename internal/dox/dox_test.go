@@ -103,7 +103,7 @@ func (e *env) exchange(t *testing.T, proto Protocol) (time.Duration, *Metrics) {
 }
 
 func TestAllProtocolsAnswer(t *testing.T) {
-	for _, proto := range Protocols {
+	for _, proto := range AllProtocols {
 		e := newEnv(t, 1, 40*time.Millisecond, 0, nil)
 		resolve, m := e.exchange(t, proto)
 		if m == nil {
@@ -127,6 +127,7 @@ func TestHandshakeRoundTripArithmetic(t *testing.T) {
 		DoQ:   rtt,
 		DoT:   2 * rtt,
 		DoH:   2 * rtt,
+		DoH3:  rtt, // same combined QUIC round trip as DoQ
 	}
 	for proto, expect := range want {
 		e := newEnv(t, 2, rtt, 0, nil)
@@ -191,7 +192,7 @@ func TestDoTCPSecondQueryNeedsNewConnection(t *testing.T) {
 }
 
 func TestEncryptedProtocolsUseSessionResumption(t *testing.T) {
-	for _, proto := range []Protocol{DoT, DoH, DoQ} {
+	for _, proto := range []Protocol{DoT, DoH, DoQ, DoH3} {
 		e := newEnv(t, 5, 50*time.Millisecond, 0, nil)
 		_, m1 := e.exchange(t, proto)
 		if m1 == nil || m1.UsedResumption {
@@ -334,6 +335,70 @@ func TestDoQZeroRTT(t *testing.T) {
 	// Connection setup + query all within ~1 RTT.
 	if resolve > rtt+20*time.Millisecond {
 		t.Errorf("0-RTT query = %v, want ~1 RTT total", resolve)
+	}
+}
+
+// TestDoH3SizesBetweenDoQAndDoH is the transport-level core of E13: on
+// identical paths with warmed (resumed) sessions, DoH3's query bytes
+// must be strictly below DoH's (QPACK static references and two varint
+// frames instead of first-request HPACK literals over TLS over TCP) and
+// above DoQ's bare length-prefixed stream.
+func TestDoH3SizesBetweenDoQAndDoH(t *testing.T) {
+	sizes := map[Protocol]*Metrics{}
+	for _, proto := range []Protocol{DoQ, DoH, DoH3} {
+		e := newEnv(t, 12, 40*time.Millisecond, 0, nil)
+		e.exchange(t, proto) // warm for resumption
+		_, m := e.exchange(t, proto)
+		if m == nil {
+			t.Fatalf("%v failed", proto)
+		}
+		sizes[proto] = m
+	}
+	if got, limit := sizes[DoH3].QueryTx, sizes[DoH].QueryTx; got >= limit {
+		t.Errorf("DoH3 query (%d B) not below DoH query (%d B)", got, limit)
+	}
+	if got, floor := sizes[DoH3].QueryTx, sizes[DoQ].QueryTx; got <= floor {
+		t.Errorf("DoH3 query (%d B) not above DoQ query (%d B)", got, floor)
+	}
+	if sizes[DoH3].DoQALPN != DoH3ALPN {
+		t.Errorf("negotiated ALPN %q, want %q", sizes[DoH3].DoQALPN, DoH3ALPN)
+	}
+}
+
+// TestDoH3ZeroRTT mirrors TestDoQZeroRTT: with a warmed session and
+// early data offered, the control-stream SETTINGS and the request ride
+// in 0-RTT packets, so connect-to-answer fits in ~1 RTT.
+func TestDoH3ZeroRTT(t *testing.T) {
+	rtt := 100 * time.Millisecond
+	e := newEnv(t, 13, rtt, 0, func(c *ServerConfig) { c.AcceptEarlyData = true })
+	// Warm.
+	e.exchange(t, DoH3)
+	var resolve time.Duration
+	var used0RTT bool
+	e.w.Go(func() {
+		o := e.opts()
+		o.OfferEarlyData = true
+		c, err := Connect(DoH3, o)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		q := dnsmsg.NewQuery(0, "google.com", dnsmsg.TypeA)
+		start := e.w.Now()
+		if _, err := c.Query(&q); err != nil {
+			t.Error(err)
+			return
+		}
+		resolve = e.w.Now() - start
+		used0RTT = c.Metrics().Used0RTT
+		c.Close()
+	})
+	e.w.Run()
+	if !used0RTT {
+		t.Error("0-RTT not used")
+	}
+	if resolve > rtt+20*time.Millisecond {
+		t.Errorf("0-RTT DoH3 query = %v, want ~1 RTT total", resolve)
 	}
 }
 

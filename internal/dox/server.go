@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dnsmsg"
 	"repro/internal/h2"
+	"repro/internal/h3"
 	"repro/internal/netem"
 	"repro/internal/quic"
 	"repro/internal/tcpsim"
@@ -35,7 +36,7 @@ type ServerConfig struct {
 
 	// Ports default to the standard ones; DoQPort may be 784/8853 for
 	// early-draft deployments.
-	UDPPort, TCPPort, DoTPort, DoHPort, DoQPort uint16
+	UDPPort, TCPPort, DoTPort, DoHPort, DoQPort, DoH3Port uint16
 
 	Rand *rand.Rand
 	Now  func() time.Duration
@@ -58,6 +59,9 @@ func (c *ServerConfig) withDefaults() ServerConfig {
 	if v.DoQPort == 0 {
 		v.DoQPort = PortDoQ
 	}
+	if v.DoH3Port == 0 {
+		v.DoH3Port = PortDoH3
+	}
 	if v.DoQALPN == "" {
 		v.DoQALPN = DoQALPNRFC
 	}
@@ -74,6 +78,7 @@ type Server struct {
 	dotL    *tcpsim.Listener
 	dohL    *tcpsim.Listener
 	doqL    *quic.Listener
+	doh3L   *quic.Listener
 }
 
 // NewServer creates a server; call the Serve* methods to enable
@@ -322,9 +327,63 @@ func (s *Server) ServeDoQ() error {
 	return nil
 }
 
+// ServeDoH3 starts the DoH3 endpoint: HTTP/3 over QUIC with the "h3"
+// ALPN, sharing the resolver's ticket store and token key with DoQ so a
+// session warmed on either QUIC transport resumes with the same
+// machinery.
+func (s *Server) ServeDoH3() error {
+	cfg := quic.Config{
+		ALPN:                  []string{DoH3ALPN},
+		Identity:              s.cfg.Identity,
+		TicketStore:           s.cfg.TicketStore,
+		DisableSessionTickets: s.cfg.DisableSessionTickets,
+		AcceptEarlyData:       s.cfg.AcceptEarlyData,
+		// QUIC mandates TLS 1.3 (RFC 9001), as for DoQ.
+		TLSVersion: 0,
+		Versions:   s.cfg.QUICVersions,
+		TokenKey:   s.cfg.TokenKey,
+		Rand:       s.cfg.Rand,
+		Now:        s.cfg.Now,
+	}
+	l, err := quic.Listen(s.host, s.cfg.DoH3Port, cfg)
+	if err != nil {
+		return err
+	}
+	s.doh3L = l
+	w := s.host.World()
+	w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			remote := conn.RemoteAddr()
+			w.Go(func() {
+				h3.ServeConn(w, conn, func(headers []h3.Header, body []byte) ([]h3.Header, []byte) {
+					q, err := dnsmsg.Decode(body)
+					if err != nil {
+						return []h3.Header{{Name: ":status", Value: "400"}}, nil
+					}
+					resp := s.cfg.Handler(q, DoH3, remote)
+					if resp == nil {
+						return []h3.Header{{Name: ":status", Value: "503"}}, nil
+					}
+					wire := resp.Encode()
+					return []h3.Header{
+						{Name: ":status", Value: "200"},
+						{Name: "content-type", Value: "application/dns-message"},
+						{Name: "cache-control", Value: "max-age=60"},
+					}, wire
+				})
+			})
+		}
+	})
+	return nil
+}
+
 // ServeAll enables every transport, returning the first error.
 func (s *Server) ServeAll() error {
-	for _, fn := range []func() error{s.ServeUDP, s.ServeTCP, s.ServeDoT, s.ServeDoH, s.ServeDoQ} {
+	for _, fn := range []func() error{s.ServeUDP, s.ServeTCP, s.ServeDoT, s.ServeDoH, s.ServeDoQ, s.ServeDoH3} {
 		if err := fn(); err != nil {
 			return err
 		}
@@ -342,7 +401,9 @@ func (s *Server) Close() {
 			l.Close()
 		}
 	}
-	if s.doqL != nil {
-		s.doqL.Close()
+	for _, l := range []*quic.Listener{s.doqL, s.doh3L} {
+		if l != nil {
+			l.Close()
+		}
 	}
 }

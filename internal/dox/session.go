@@ -1,6 +1,10 @@
 package dox
 
-import "net/netip"
+import (
+	"net/netip"
+
+	"repro/internal/quic"
+)
 
 // QUICSession is the client-side state the paper's methodology carries
 // from a cache-warming connection to the measured connection: the
@@ -14,7 +18,10 @@ type QUICSession struct {
 	ALPN    string
 }
 
-// QUICSessionStore keeps QUICSessions per resolver address.
+// QUICSessionStore keeps QUICSessions per resolver address. It serves
+// both QUIC transports (DoQ and DoH3); because the ALPN is part of the
+// stored state, callers measuring both transports against the same
+// resolver keep one store per transport.
 type QUICSessionStore struct {
 	m map[netip.Addr]*QUICSession
 }
@@ -30,17 +37,23 @@ func (s *QUICSessionStore) Get(addr netip.Addr) *QUICSession { return s.m[addr] 
 // Put stores session state for addr.
 func (s *QUICSessionStore) Put(addr netip.Addr, q *QUICSession) { s.m[addr] = q }
 
-// Remember extracts reusable state from a finished DoQ client.
+// Remember extracts reusable state from a finished QUIC-based client
+// (DoQ or DoH3).
 func (s *QUICSessionStore) Remember(addr netip.Addr, c Client) {
-	dq, ok := c.(*doqClient)
-	if !ok {
+	var conn *quic.Conn
+	switch cl := c.(type) {
+	case *doqClient:
+		conn = cl.conn
+	case *doh3Client:
+		conn = cl.conn
+	default:
 		return
 	}
 	q := &QUICSession{
-		Version: dq.conn.Version(),
-		ALPN:    dq.conn.ALPN(),
+		Version: conn.Version(),
+		ALPN:    conn.ALPN(),
 	}
-	if tok := dq.conn.NewToken(); len(tok) > 0 {
+	if tok := conn.NewToken(); len(tok) > 0 {
 		q.Token = append([]byte(nil), tok...)
 	} else if old := s.m[addr]; old != nil {
 		// Keep a previously issued token: a connection that closed

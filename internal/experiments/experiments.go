@@ -96,15 +96,21 @@ type Experiment struct {
 type Runner struct {
 	Cfg Config
 
-	sqMu     sync.Mutex
-	sq       []measure.SingleQuerySample
-	sqDone   bool
-	webMu    sync.Mutex
-	web      []measure.WebSample
-	webDone  bool
-	scanMu   sync.Mutex
-	scan     scan.FunnelResult
-	scanDone bool
+	sqMu      sync.Mutex
+	sq        []measure.SingleQuerySample
+	sqDone    bool
+	webMu     sync.Mutex
+	web       []measure.WebSample
+	webDone   bool
+	scanMu    sync.Mutex
+	scan      scan.FunnelResult
+	scanDone  bool
+	sqH3Mu    sync.Mutex
+	sqH3      []measure.SingleQuerySample
+	sqH3Done  bool
+	webH3Mu   sync.Mutex
+	webH3     []measure.WebSample
+	webH3Done bool
 }
 
 // NewRunner creates a Runner for cfg.
@@ -168,6 +174,60 @@ func (r *Runner) Web() ([]measure.WebSample, error) {
 	return r.web, nil
 }
 
+// doh3Protocols is the sixth-transport comparison set of E13–E15: the
+// two QUIC transports side by side with DoH over HTTP/2.
+var doh3Protocols = []dox.Protocol{dox.DoQ, dox.DoH, dox.DoH3}
+
+// SingleQueryDoH3 runs (once) the sixth-transport single-query campaign
+// consumed by E13 and E14: DoQ, DoH and DoH3 over a fresh blueprint.
+func (r *Runner) SingleQueryDoH3() ([]measure.SingleQuerySample, error) {
+	r.sqH3Mu.Lock()
+	defer r.sqH3Mu.Unlock()
+	if r.sqH3Done {
+		return r.sqH3, nil
+	}
+	bp, err := r.blueprint(50, r.Cfg.Resolvers, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.sqH3, err = measure.RunSingleQuery(measure.SingleQueryConfig{
+		Blueprint:   bp,
+		Parallelism: r.Cfg.Parallelism,
+		Rounds:      r.Cfg.Rounds,
+		Protocols:   doh3Protocols,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.sqH3Done = true
+	return r.sqH3, nil
+}
+
+// WebDoH3 runs (once) the sixth-transport web campaign consumed by E15.
+func (r *Runner) WebDoH3() ([]measure.WebSample, error) {
+	r.webH3Mu.Lock()
+	defer r.webH3Mu.Unlock()
+	if r.webH3Done {
+		return r.webH3, nil
+	}
+	bp, err := r.blueprint(60, r.Cfg.WebResolvers, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.webH3, err = measure.RunWeb(measure.WebConfig{
+		Blueprint:   bp,
+		Parallelism: r.Cfg.Parallelism,
+		Protocols:   doh3Protocols,
+		Pages:       pages.Top10()[:r.Cfg.WebPages],
+		Loads:       r.Cfg.WebLoads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.webH3Done = true
+	return r.webH3, nil
+}
+
 // All returns the registry in paper order.
 func All() []Experiment {
 	return []Experiment{
@@ -183,6 +243,9 @@ func All() []Experiment {
 		{ID: "E10", Artifact: "§3.1 ablation", About: "DoQ without Session Resumption (amplification limit)", Run: runE10},
 		{ID: "E11", Artifact: "§4 ablation", About: "0-RTT enabled at resolvers (future work)", Run: runE11},
 		{ID: "E12", Artifact: "§3.2 ablation", About: "DoT proxy in-flight bug vs fixed connection reuse", Run: runE12},
+		{ID: "E13", Artifact: "§5 DoH3 sizes", About: "Table-1-style single-query sizes with DoH3: does QPACK+QUIC close the DoH gap?", Run: runE13},
+		{ID: "E14", Artifact: "§5 DoH3 timing", About: "handshake and resolve medians per vantage: DoH3 vs DoQ vs DoH", Run: runE14},
+		{ID: "E15", Artifact: "§5 DoH3 web", About: "PLT grid with DoH3 as baseline vs DoQ and DoH", Run: runE15},
 	}
 }
 
@@ -289,6 +352,7 @@ func runE1(r *Runner) (string, error) {
 	t.Add("  + DoTCP", fmt.Sprint(res.Support[dox.DoTCP]), scale(706), "706")
 	t.Add("  + DoT", fmt.Sprint(res.Support[dox.DoT]), scale(1149), "1149")
 	t.Add("  + DoH", fmt.Sprint(res.Support[dox.DoH]), scale(732), "732")
+	t.Add("  + DoH3 (beyond paper)", fmt.Sprint(res.Support[dox.DoH3]), "-", "-")
 	t.Add("verified DoX resolvers", fmt.Sprint(res.Verified), scale(313), "313")
 	_ = spec
 	return t.String(), nil
@@ -431,12 +495,16 @@ func runE4(r *Runner) (string, error) {
 
 // --- E5 / E6: Fig. 2 matrices ---
 
-func fig2Matrix(samples []measure.SingleQuerySample, title string, f func(measure.SingleQuerySample) time.Duration, skipUDP bool) string {
+func fig2Matrix(samples []measure.SingleQuerySample, title string, f func(measure.SingleQuerySample) time.Duration, protos []dox.Protocol, skipUDP bool) string {
 	rowsOrder := append([]string{"Total"}, vantageNames()...)
-	t := &report.Table{Title: title, Header: []string{"vantage", "DoUDP", "DoTCP", "DoQ", "DoH", "DoT"}}
+	header := []string{"vantage"}
+	for _, p := range protos {
+		header = append(header, p.String())
+	}
+	t := &report.Table{Title: title, Header: header}
 	for _, rowName := range rowsOrder {
 		cells := []string{rowName}
-		for _, p := range dox.Protocols {
+		for _, p := range protos {
 			if p == dox.DoUDP && skipUDP {
 				cells = append(cells, "-")
 				continue
@@ -472,7 +540,7 @@ func runE5(r *Runner) (string, error) {
 		return "", err
 	}
 	s := fig2Matrix(samples, "E5 — Fig. 2a: median handshake time (ms)",
-		func(s measure.SingleQuerySample) time.Duration { return s.Handshake }, true)
+		func(s measure.SingleQuerySample) time.Duration { return s.Handshake }, dox.Protocols, true)
 	return s + "paper Total row: DoTCP 183.2, DoQ 186.7, DoH 375.8, DoT 376.6\n", nil
 }
 
@@ -482,7 +550,7 @@ func runE6(r *Runner) (string, error) {
 		return "", err
 	}
 	s := fig2Matrix(samples, "E6 — Fig. 2b: median resolve time (ms)",
-		func(s measure.SingleQuerySample) time.Duration { return s.Resolve }, false)
+		func(s measure.SingleQuerySample) time.Duration { return s.Resolve }, dox.Protocols, false)
 	return s + "paper Total row: DoUDP 183.8, DoTCP 184.8, DoQ 185.4, DoH 187.3, DoT 185.7\n", nil
 }
 
@@ -788,6 +856,162 @@ func runE12(r *Runner) (string, error) {
 		stats.FormatPct(med(buggy)), stats.FormatPct(med(fixed)))
 	sb.WriteString("paper: the bug repeats the full DoT handshake in ~60% of page loads, making DoT look worse than DoH;\n")
 	sb.WriteString("the authors' upstream fix (reproduced by FixDoTReuse) removes the artifact\n")
+	return sb.String(), nil
+}
+
+// --- E13 / E14 / E15: the sixth transport (DoH3) ---
+
+// runE13 answers the paper's §5 open question in Table 1 terms: once DoH
+// rides HTTP/3 over the same QUIC stack as DoQ, how much of its size
+// overhead survives? QPACK's static-table references replace the
+// first-request HPACK literals, the HTTP/2 preface and TCP+TLS framing
+// disappear, and the remaining gap to DoQ is pure HTTP framing.
+func runE13(r *Runner) (string, error) {
+	samples, err := r.SingleQueryDoH3()
+	if err != nil {
+		return "", err
+	}
+	type sizes struct{ total, hsUp, hsDown, q, resp []float64 }
+	per := map[dox.Protocol]*sizes{}
+	counts := map[dox.Protocol]int{}
+	for _, p := range doh3Protocols {
+		per[p] = &sizes{}
+	}
+	for _, s := range samples {
+		if !s.OK {
+			continue
+		}
+		counts[s.Protocol]++
+		z := per[s.Protocol]
+		z.hsUp = append(z.hsUp, float64(s.M.HandshakeTx))
+		z.hsDown = append(z.hsDown, float64(s.M.HandshakeRx))
+		z.q = append(z.q, float64(s.M.QueryTx))
+		z.resp = append(z.resp, float64(s.M.QueryRx))
+		z.total = append(z.total, float64(s.M.HandshakeTx+s.M.HandshakeRx+s.M.QueryTx+s.M.QueryRx))
+	}
+	t := &report.Table{
+		Title:  "E13 — Table-1-style median single-query sizes with DoH3 (bytes of IP payload)",
+		Header: []string{"row", "DoQ", "DoH", "DoH3", "paper(DoQ/DoH)"},
+	}
+	row := func(name string, f func(*sizes) []float64, paper string) {
+		cells := []string{name}
+		for _, p := range doh3Protocols {
+			cells = append(cells, fmt.Sprintf("%.0f", stats.Median(f(per[p]))))
+		}
+		cells = append(cells, paper)
+		t.Add(cells...)
+	}
+	row("Total", func(z *sizes) []float64 { return z.total }, "4444/2163")
+	row("Handshake C->R", func(z *sizes) []float64 { return z.hsUp }, "2564/569")
+	row("Handshake R->C", func(z *sizes) []float64 { return z.hsDown }, "1304/211")
+	row("DNS Query", func(z *sizes) []float64 { return z.q }, "190/579")
+	row("DNS Response", func(z *sizes) []float64 { return z.resp }, "386/804")
+	sampleRow := []string{"Samples OK"}
+	for _, p := range doh3Protocols {
+		sampleRow = append(sampleRow, fmt.Sprint(counts[p]))
+	}
+	sampleRow = append(sampleRow, "no DoH3 in paper (§5)")
+	t.Add(sampleRow...)
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	qH, qH3, qQ := stats.Median(per[dox.DoH].q), stats.Median(per[dox.DoH3].q), stats.Median(per[dox.DoQ].q)
+	fmt.Fprintf(&sb, "DoH3 median query: %.0f B vs DoH %.0f B (%s; QPACK static refs, no TCP/TLS layering) and DoQ %.0f B (%s; HTTP framing remains)\n",
+		qH3, qH, stats.FormatPct(stats.RelDiff(qH3, qH)), qQ, stats.FormatPct(stats.RelDiff(qH3, qQ)))
+	sb.WriteString("expectation (§5): moving DoH onto QUIC sheds most of the framing/header overhead but not all of DoQ's edge\n")
+	return sb.String(), nil
+}
+
+func runE14(r *Runner) (string, error) {
+	samples, err := r.SingleQueryDoH3()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(fig2Matrix(samples, "E14 — median handshake time per vantage: DoH3 vs DoQ vs DoH (ms)",
+		func(s measure.SingleQuerySample) time.Duration { return s.Handshake }, doh3Protocols, false))
+	sb.WriteString(fig2Matrix(samples, "E14 — median resolve time per vantage (ms)",
+		func(s measure.SingleQuerySample) time.Duration { return s.Resolve }, doh3Protocols, false))
+	sb.WriteString("expectation: DoH3 handshakes match DoQ (one combined QUIC round trip, resumed), one RTT below DoH's TCP+TLS; resolve times converge across all three\n")
+	return sb.String(), nil
+}
+
+// runE15 renders the Fig. 4 grid with DoH3 as the baseline: per vantage
+// and page, the median relative PLT of DoQ and DoH against DoH3.
+func runE15(r *Runner) (string, error) {
+	samples, err := r.WebDoH3()
+	if err != nil {
+		return "", err
+	}
+	type comboKey struct {
+		vantage  string
+		resolver int
+		page     string
+	}
+	med := map[comboKey]map[dox.Protocol][]float64{}
+	for _, s := range samples {
+		if !s.OK {
+			continue
+		}
+		k := comboKey{s.Vantage, s.ResolverIdx, s.Page}
+		if med[k] == nil {
+			med[k] = map[dox.Protocol][]float64{}
+		}
+		med[k][s.Protocol] = append(med[k][s.Protocol], float64(s.PLT))
+	}
+	type key struct {
+		vantage string
+		page    string
+	}
+	perCell := map[key]map[dox.Protocol][]float64{}
+	doh3FasterThanDoH, cells := 0, 0
+	for k, perProto := range med {
+		base := stats.Median(perProto[dox.DoH3])
+		if base == 0 {
+			continue
+		}
+		ck := key{k.vantage, k.page}
+		if perCell[ck] == nil {
+			perCell[ck] = map[dox.Protocol][]float64{}
+		}
+		for _, p := range []dox.Protocol{dox.DoQ, dox.DoH} {
+			if xs := perProto[p]; len(xs) > 0 {
+				perCell[ck][p] = append(perCell[ck][p], stats.RelDiff(stats.Median(xs), base))
+			}
+		}
+		if xs := perProto[dox.DoH]; len(xs) > 0 {
+			cells++
+			if stats.Median(xs) > base {
+				doh3FasterThanDoH++
+			}
+		}
+	}
+	pageOrder := []string{}
+	for _, p := range pages.Top10() {
+		pageOrder = append(pageOrder, p.Name)
+	}
+	t := &report.Table{
+		Title:  "E15 — PLT grid, DoH3 baseline: median relative PLT (DoQ | DoH), per vantage and page",
+		Header: append([]string{"vantage"}, pageOrder...),
+	}
+	for _, vp := range vantageNames() {
+		cellsRow := []string{vp}
+		for _, pg := range pageOrder {
+			m := perCell[key{vp, pg}]
+			if m == nil {
+				cellsRow = append(cellsRow, "-")
+				continue
+			}
+			cellsRow = append(cellsRow, fmt.Sprintf("%s|%s",
+				stats.FormatPct(stats.Median(m[dox.DoQ])),
+				stats.FormatPct(stats.Median(m[dox.DoH]))))
+		}
+		t.Add(cellsRow...)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "DoH3 faster than DoH in %s of [vantage:resolver:page] combinations (positive DoH cells = DoH slower than the DoH3 baseline)\n",
+		report.Pct(doh3FasterThanDoH, cells))
+	sb.WriteString("expectation (§5): page loads over DoH3 sit at DoQ's level — the HTTP layer costs bytes, not round trips\n")
 	return sb.String(), nil
 }
 

@@ -3,6 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/dox"
+	"repro/internal/measure"
+	"repro/internal/stats"
 )
 
 // tiny returns a configuration small enough for unit tests.
@@ -30,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -88,10 +92,10 @@ func TestSingleQueryCachedAcrossExperiments(t *testing.T) {
 }
 
 // TestReportsDeterministicAcrossParallelism enforces the acceptance
-// criterion that every experiment E1-E12 emits a byte-identical report
-// at parallelism 1 and parallelism 8 for the same seed. Each
-// parallelism level gets a fresh Runner so campaign caches cannot mask
-// a divergence.
+// criterion that every experiment E1-E15 — the DoH3 campaigns included
+// — emits a byte-identical report at parallelism 1 and parallelism 8
+// for the same seed. Each parallelism level gets a fresh Runner so
+// campaign caches cannot mask a divergence.
 func TestReportsDeterministicAcrossParallelism(t *testing.T) {
 	reports := func(par int) map[string]string {
 		cfg := tiny()
@@ -113,6 +117,44 @@ func TestReportsDeterministicAcrossParallelism(t *testing.T) {
 			t.Errorf("%s report differs between parallelism 1 and 8:\n--- p1:\n%s\n--- p8:\n%s",
 				e.ID, base[e.ID], got[e.ID])
 		}
+	}
+}
+
+// TestE13DoH3QuerySizesBelowDoH enforces the E13 acceptance criterion
+// at the campaign level: over the sixth-transport population, DoH3's
+// median query size sits strictly below DoH-over-HTTP/2's (QPACK static
+// references, no TCP/TLS layering) while staying above DoQ's bare
+// stream framing.
+func TestE13DoH3QuerySizesBelowDoH(t *testing.T) {
+	r := NewRunner(tiny())
+	samples, err := r.SingleQueryDoH3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := func(p dox.Protocol, f func(measure.SingleQuerySample) int) float64 {
+		var xs []float64
+		for _, s := range samples {
+			if s.OK && s.Protocol == p {
+				xs = append(xs, float64(f(s)))
+			}
+		}
+		if len(xs) == 0 {
+			t.Fatalf("no OK samples for %v", p)
+		}
+		return stats.Median(xs)
+	}
+	q := func(s measure.SingleQuerySample) int { return s.M.QueryTx }
+	if h3, h := med(dox.DoH3, q), med(dox.DoH, q); h3 >= h {
+		t.Errorf("DoH3 median query %v B not strictly below DoH %v B", h3, h)
+	}
+	if h3, dq := med(dox.DoH3, q), med(dox.DoQ, q); h3 <= dq {
+		t.Errorf("DoH3 median query %v B not above DoQ %v B", h3, dq)
+	}
+	total := func(s measure.SingleQuerySample) int {
+		return s.M.HandshakeTx + s.M.HandshakeRx + s.M.QueryTx + s.M.QueryRx
+	}
+	if h3, h := med(dox.DoH3, total), med(dox.DoH, total); h3 >= h {
+		t.Logf("note: DoH3 median total %v B not below DoH %v B (Initial padding dominates)", h3, h)
 	}
 }
 

@@ -10,6 +10,9 @@
 // literals; later requests reference the connection's dynamic table and
 // shrink dramatically, which is also why resolving many names over one
 // DoH connection amortizes better than its single-query numbers suggest.
+// internal/h3 plays the same role for DoH3 on the QUIC stack, where the
+// first-request literal penalty disappears into QPACK's static table
+// (experiment E13 compares the two).
 package h2
 
 import (

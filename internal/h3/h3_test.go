@@ -1,0 +1,172 @@
+package h3
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/quic"
+	"repro/internal/sim"
+	"repro/internal/tlsmini"
+)
+
+func TestFieldSectionRoundTrip(t *testing.T) {
+	cases := [][]Header{
+		{{":method", "POST"}, {":scheme", "https"}, {":path", "/dns-query"}},
+		{
+			{":method", "POST"},
+			{":scheme", "https"},
+			{":authority", "resolver-003.EU.example"},
+			{":path", "/dns-query"},
+			{"accept", "application/dns-message"},
+			{"content-type", "application/dns-message"},
+			{"content-length", "42"},
+			{"user-agent", "repro-dnsperf/1.0"},
+		},
+		{{":status", "200"}, {"content-type", "application/dns-message"}, {"cache-control", "max-age=60"}},
+		{{"x-custom-header", "some opaque value"}},
+		nil,
+	}
+	for _, hs := range cases {
+		enc := EncodeFieldSection(hs)
+		dec, err := DecodeFieldSection(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", hs, err)
+		}
+		if len(hs) == 0 && len(dec) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(dec, hs) {
+			t.Errorf("round trip: got %v, want %v", dec, hs)
+		}
+	}
+}
+
+// TestStaticTableHitsAreOneByte pins the size property E13 rests on: a
+// full static match costs 2 bytes (marker+index) versus the literal's
+// name+value spelling, so the DoH3 header block stays a fraction of the
+// equivalent first-request HPACK block.
+func TestStaticTableHitsAreOneByte(t *testing.T) {
+	static := EncodeFieldSection([]Header{{"content-type", "application/dns-message"}})
+	literal := EncodeFieldSection([]Header{{"content-type", "application/dns-binary!"}})
+	if len(static) != 2+2 {
+		t.Errorf("static hit encoded in %d bytes, want 4 (prefix+marker+index)", len(static))
+	}
+	if len(literal) <= len(static) {
+		t.Errorf("literal (%d bytes) not larger than static hit (%d bytes)", len(literal), len(static))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("frame payload")
+	b := appendFrame(nil, frameHeaders, payload)
+	b = appendFrame(b, frameData, []byte("body"))
+	ftype, got, rest, err := readFrame(b)
+	if err != nil || ftype != frameHeaders || !bytes.Equal(got, payload) {
+		t.Fatalf("first frame: type=%d payload=%q err=%v", ftype, got, err)
+	}
+	ftype, got, rest, err = readFrame(rest)
+	if err != nil || ftype != frameData || string(got) != "body" {
+		t.Fatalf("second frame: type=%d payload=%q err=%v", ftype, got, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+type env struct {
+	w      *sim.World
+	client *netem.Host
+	server *netem.Host
+	rng    *rand.Rand
+	id     *tlsmini.Identity
+}
+
+func newEnv(seed int64, rtt time.Duration) *env {
+	w := sim.NewWorld(seed)
+	n := netem.NewNetwork(w)
+	c := n.Host(netip.MustParseAddr("10.0.0.1"))
+	s := n.Host(netip.MustParseAddr("10.0.0.2"))
+	n.SetSymmetricPath(c.Addr(), s.Addr(), netem.PathParams{Delay: rtt / 2})
+	rng := rand.New(rand.NewSource(seed))
+	return &env{w: w, client: c, server: s, rng: rng,
+		id: tlsmini.GenerateIdentity(rng, "h3.example", 1000)}
+}
+
+// TestRequestResponseOverQUIC drives a full HTTP/3 exchange — control
+// streams, SETTINGS, HEADERS+DATA request framing — over the simulated
+// QUIC stack.
+func TestRequestResponseOverQUIC(t *testing.T) {
+	e := newEnv(1, 40*time.Millisecond)
+	l, err := quic.Listen(e.server, 443, quic.Config{
+		ALPN:        []string{"h3"},
+		Identity:    e.id,
+		TicketStore: tlsmini.NewTicketStore(),
+		Rand:        e.rng,
+		Now:         e.w.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.w.Go(func() {
+		for {
+			conn, ok := l.Accept()
+			if !ok {
+				return
+			}
+			e.w.Go(func() {
+				ServeConn(e.w, conn, func(headers []Header, body []byte) ([]Header, []byte) {
+					for _, h := range headers {
+						if h.Name == ":path" && h.Value != "/dns-query" {
+							return []Header{{":status", "404"}}, nil
+						}
+					}
+					return []Header{{":status", "200"}}, append([]byte("echo:"), body...)
+				})
+			})
+		}
+	})
+
+	var resp1, resp2 *Response
+	e.w.Go(func() {
+		conn, err := quic.Dial(e.client, netip.AddrPortFrom(e.server.Addr(), 443), quic.Config{
+			ALPN:       []string{"h3"},
+			ServerName: "h3.example",
+			Rand:       e.rng,
+			Now:        e.w.Now,
+		})
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c := NewClientConn(e.w, conn)
+		resp1, err = c.RoundTrip([]Header{
+			{":method", "POST"}, {":scheme", "https"},
+			{":authority", "h3.example"}, {":path", "/dns-query"},
+		}, []byte("query-1"))
+		if err != nil {
+			t.Errorf("roundtrip 1: %v", err)
+			return
+		}
+		resp2, err = c.RoundTrip([]Header{
+			{":method", "POST"}, {":scheme", "https"},
+			{":authority", "h3.example"}, {":path", "/other"},
+		}, []byte("query-2"))
+		if err != nil {
+			t.Errorf("roundtrip 2: %v", err)
+			return
+		}
+		c.Close()
+	})
+	e.w.Run()
+	if resp1 == nil || resp1.Status() != "200" || string(resp1.Body) != "echo:query-1" {
+		t.Fatalf("resp1 = %+v", resp1)
+	}
+	if resp2 == nil || resp2.Status() != "404" {
+		t.Fatalf("resp2 = %+v", resp2)
+	}
+}

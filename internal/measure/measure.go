@@ -9,6 +9,8 @@
 // fresh session that uses Session Resumption (and, per RFC 9250, the
 // token together with it), so the QUIC handshake is not inflated by
 // Version Negotiation, Address Validation, or the amplification limit.
+// The same warming discipline applies to DoH3 (E13–E15), whose sessions
+// resume through identical QUIC machinery under the "h3" ALPN.
 //
 // Web (§2, §3.2): per [vantage : resolver : protocol] combination a local
 // DNS proxy forwards Chromium's queries upstream; a cache-warming
@@ -103,7 +105,8 @@ type SingleQueryConfig struct {
 	// starts from a cold session (no ticket, no token) and is therefore
 	// exposed to the amplification limit.
 	DisableResumption bool
-	// Use0RTT is the E11 ablation: offer 0-RTT on resumed DoQ sessions.
+	// Use0RTT is the E11 ablation: offer 0-RTT on resumed QUIC sessions
+	// (DoQ, and DoH3 when it is in the protocol set).
 	Use0RTT bool
 	// QueryTimeout bounds one query (default 15s).
 	QueryTimeout time.Duration
@@ -216,13 +219,16 @@ func singleQueryShardBody(u *resolver.Universe, vp *resolver.Vantage, cfg Single
 }
 
 // vantageRunner holds the per-vantage client state (session caches carry
-// across rounds, as a long-running measurement host's would).
+// across rounds, as a long-running measurement host's would). The two
+// QUIC transports keep separate session stores because the stored state
+// includes the negotiated ALPN.
 type vantageRunner struct {
 	u        *resolver.Universe
 	vp       *resolver.Vantage
 	cfg      SingleQueryConfig
 	sessions *tlsmini.SessionCache
 	quicSess *dox.QUICSessionStore
+	h3Sess   *dox.QUICSessionStore
 	qid      uint16
 }
 
@@ -233,6 +239,7 @@ func newVantageRunner(u *resolver.Universe, vp *resolver.Vantage, cfg SingleQuer
 		cfg:      cfg,
 		sessions: tlsmini.NewSessionCache(),
 		quicSess: dox.NewQUICSessionStore(),
+		h3Sess:   dox.NewQUICSessionStore(),
 	}
 }
 
@@ -252,13 +259,25 @@ func (r *vantageRunner) options(res *resolver.Resolver, proto dox.Protocol, warm
 		return o
 	}
 	o.SessionCache = r.sessions
-	if proto == dox.DoQ {
-		r.quicSess.Apply(res.Addr, &o)
+	if st := r.sessionStore(proto); st != nil {
+		st.Apply(res.Addr, &o)
 		if !warming && r.cfg.Use0RTT {
 			o.OfferEarlyData = true
 		}
 	}
 	return o
+}
+
+// sessionStore returns the QUIC session store for proto, or nil for the
+// non-QUIC transports.
+func (r *vantageRunner) sessionStore(proto dox.Protocol) *dox.QUICSessionStore {
+	switch proto {
+	case dox.DoQ:
+		return r.quicSess
+	case dox.DoH3:
+		return r.h3Sess
+	}
+	return nil
 }
 
 // measureOne performs warming + measured query for one combination.
@@ -307,8 +326,8 @@ func (r *vantageRunner) exchange(res *resolver.Resolver, proto dox.Protocol, war
 		s.Total = w.Now() - connStart
 		s.Handshake = c.Metrics().HandshakeTime
 		s.M = *c.Metrics()
-		if proto == dox.DoQ {
-			r.quicSess.Remember(res.Addr, c)
+		if st := r.sessionStore(proto); st != nil {
+			st.Remember(res.Addr, c)
 		}
 		done.Resolve(true)
 	})

@@ -21,6 +21,19 @@ package quic
 
 import "errors"
 
+// AppendVarint appends QUIC's variable-length integer encoding of v
+// (RFC 9000 §16): the two most significant bits of the first byte give
+// the length. Exported for internal/h3, whose frames reuse the QUIC
+// varint exactly as RFC 9114 specifies.
+func AppendVarint(b []byte, v uint64) []byte { return appendVarint(b, v) }
+
+// ReadVarint decodes a varint from b, returning the value and the number
+// of bytes consumed.
+func ReadVarint(b []byte) (uint64, int, error) { return readVarint(b) }
+
+// VarintLen returns the encoded size of v.
+func VarintLen(v uint64) int { return varintLen(v) }
+
 // Varint implements QUIC's variable-length integer encoding (RFC 9000
 // §16): the two most significant bits of the first byte give the length.
 func appendVarint(b []byte, v uint64) []byte {

@@ -86,8 +86,12 @@ func SynthesizeProfile(rng *rand.Rand, name string, addr netip.Addr, place geo.P
 		Name:  name,
 		Addr:  addr,
 		Place: place,
+		// Verified resolvers serve the paper's five transports; DoH3 is
+		// assumed wherever DoH is deployed (the HTTP stack upgrade rides
+		// the existing QUIC endpoint), which is what E13–E15 measure.
 		Supports: map[dox.Protocol]bool{
 			dox.DoUDP: true, dox.DoTCP: true, dox.DoQ: true, dox.DoH: true, dox.DoT: true,
+			dox.DoH3: true,
 		},
 		DoQPort:         dox.PortDoQ,
 		ResponseRate:    p.ResponseRate,
@@ -191,6 +195,7 @@ func Start(host *netem.Host, prof Profile, rng *rand.Rand) (*Resolver, error) {
 		{dox.DoT, r.server.ServeDoT},
 		{dox.DoH, r.server.ServeDoH},
 		{dox.DoQ, r.server.ServeDoQ},
+		{dox.DoH3, r.server.ServeDoH3},
 	} {
 		if !prof.Supports[e.p] {
 			continue

@@ -9,6 +9,11 @@
 //	1216 DoQ resolvers -> DoUDP 548 / DoTCP 706 / DoT 1149 / DoH 732
 //	-> 313 supporting every protocol ("verified DoX resolvers").
 //
+// Beyond the paper, the funnel also probes DoH3 (assumed deployed
+// wherever DoH is; see PlanPopulation) and reports its support count,
+// but the "verified" intersection stays the paper's four-transport
+// definition.
+//
 // The funnel runs as a sharded campaign (RunFunnel): the population is
 // planned once, split into contiguous target blocks, and each block is
 // probed inside its own World on the internal/campaign worker pool; the
@@ -240,6 +245,11 @@ func PlanPopulation(rng *rand.Rand, spec PopulationSpec) ([]TargetPlan, error) {
 		case rng.Float64() < 0.06:
 			port = DoQPorts[2]
 		}
+		// DoH3 deploys wherever DoH does: the HTTP/3 endpoint is the
+		// same HTTP stack behind the resolver's existing QUIC machinery,
+		// so its support set mirrors DoH's (no extra randomness drawn —
+		// the paper-exact funnel stays untouched).
+		support[i][dox.DoH3] = support[i][dox.DoH]
 		plans = append(plans, TargetPlan{
 			Addr:     addrFor(),
 			DoQPort:  port,
@@ -301,6 +311,7 @@ func BuildTargets(net *netem.Network, seed int64, plans []TargetPlan, lo, hi int
 				{tgt.Supports[dox.DoTCP], srv.ServeTCP},
 				{tgt.Supports[dox.DoT], srv.ServeDoT},
 				{tgt.Supports[dox.DoH], srv.ServeDoH},
+				{tgt.Supports[dox.DoH3], srv.ServeDoH3},
 			} {
 				if !e.on {
 					continue
@@ -490,10 +501,12 @@ func (s *Scanner) Run(pop *Population) FunnelResult {
 			}
 			res.DoQVerified++
 			all := true
-			for _, proto := range []dox.Protocol{dox.DoUDP, dox.DoTCP, dox.DoT, dox.DoH} {
+			// DoH3 is probed alongside the paper's four but kept out of
+			// the "verified" intersection, which stays paper-defined.
+			for _, proto := range []dox.Protocol{dox.DoUDP, dox.DoTCP, dox.DoT, dox.DoH, dox.DoH3} {
 				if s.checkDoX(tgt, proto) {
 					res.Support[proto]++
-				} else {
+				} else if proto != dox.DoH3 {
 					all = false
 				}
 			}
