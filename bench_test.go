@@ -30,6 +30,8 @@ func benchConfig(seed int64) experiments.Config {
 	cfg.WebLoads = 1
 	cfg.WebPages = 10
 	cfg.ScanScale = 16
+	cfg.CacheQueries = 100
+	cfg.CacheNames = 150
 	cfg.Parallelism = 1
 	return cfg
 }
@@ -104,6 +106,21 @@ func BenchmarkE11ZeroRTT(b *testing.B) { benchExperiment(b, "E11") }
 // BenchmarkE12DoTFix regenerates the §3.2 root-cause ablation: the DNS
 // proxy's DoT in-flight bug versus the authors' upstream fix.
 func BenchmarkE12DoTFix(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE16CacheWorkload regenerates the §4 caching artifact: the
+// resolver-cache hit-ratio grid over Zipf skew and TTL. Its aggregation
+// is streaming (stats.Sketch), so campaign memory stays fixed as the
+// query count grows — see BenchmarkZipfAggregation* in internal/measure
+// for the flat-B/op evidence.
+func BenchmarkE16CacheWorkload(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17CachedSplit regenerates the cached-vs-uncached resolve
+// split on the lossless (resolver.NoLoss) baseline.
+func BenchmarkE17CachedSplit(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18WarmWeb regenerates the PLT grid under a warm shared
+// stub cache.
+func BenchmarkE18WarmWeb(b *testing.B) { benchExperiment(b, "E18") }
 
 // BenchmarkE4Table1SizesParallel is BenchmarkE4Table1Sizes with the
 // single-query campaign sharded across GOMAXPROCS workers. The report

@@ -12,7 +12,7 @@
 //
 //	dnsperf [-resolvers N] [-rounds N] [-seed N] [-parallel N]
 //	        [-handshake] [-resolve] [-sizes] [-versions]
-//	        [-no-resumption] [-zero-rtt] [-doh3]
+//	        [-no-resumption] [-zero-rtt] [-doh3] [-workload] [-cached]
 //
 // Without selection flags it prints all four reports.
 package main
@@ -39,6 +39,8 @@ func main() {
 	noResumption := flag.Bool("no-resumption", false, "E10 ablation: cold sessions")
 	zeroRTT := flag.Bool("zero-rtt", false, "E11 ablation: 0-RTT resolvers")
 	doh3 := flag.Bool("doh3", false, "E13/E14: sixth-transport (DoH3) sizes and timing")
+	workload := flag.Bool("workload", false, "E16: Zipf cache-workload hit-ratio grid")
+	cached := flag.Bool("cached", false, "E17: cached vs uncached resolve medians (lossless baseline)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -74,6 +76,12 @@ func main() {
 	}
 	if *doh3 {
 		ids = append(ids, "E13", "E14")
+	}
+	if *workload {
+		ids = append(ids, "E16")
+	}
+	if *cached {
+		ids = append(ids, "E17")
 	}
 	if len(ids) == 0 {
 		ids = []string{"E3", "E4", "E5", "E6"}

@@ -1,8 +1,8 @@
 // Command experiments regenerates every table and figure of the paper,
-// plus the DoH3 sixth-transport artifacts E13–E15 (see DESIGN.md §4 for
-// the experiment index). By default it runs all fifteen experiments at
-// a fast, shape-preserving scale; -full uses the paper's population
-// sizes.
+// plus the DoH3 sixth-transport artifacts E13–E15 and the caching /
+// Zipf-workload artifacts E16–E18 (see DESIGN.md §4 for the experiment
+// index). By default it runs all eighteen experiments at a fast,
+// shape-preserving scale; -full uses the paper's population sizes.
 //
 // Campaigns execute as sharded parallel campaigns: -parallel N sizes the
 // worker pool (default GOMAXPROCS). Parallelism scales wall time only —

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	webperf [-resolvers N] [-loads N] [-pages N] [-seed N] [-parallel N]
-//	        [-fcp] [-plt] [-grid] [-dot-fixed] [-doh3]
+//	        [-fcp] [-plt] [-grid] [-dot-fixed] [-doh3] [-warm-cache]
 package main
 
 import (
@@ -35,6 +35,7 @@ func main() {
 	grid := flag.Bool("grid", false, "Fig. 4 vantage-by-page grid")
 	dotFixed := flag.Bool("dot-fixed", false, "E12 ablation: DoT proxy bug vs fix")
 	doh3 := flag.Bool("doh3", false, "E15: PLT grid with DoH3 baseline")
+	warmCache := flag.Bool("warm-cache", false, "E18: PLT grid under a warm shared (stub) cache")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -63,6 +64,9 @@ func main() {
 	}
 	if *doh3 {
 		ids = append(ids, "E15")
+	}
+	if *warmCache {
+		ids = append(ids, "E18")
 	}
 	if len(ids) == 0 {
 		ids = []string{"E7", "E8", "E9"}

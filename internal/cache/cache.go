@@ -1,0 +1,204 @@
+// Package cache implements the TTL-aware DNS answer caches of the
+// testbed: the per-resolver shared cache that collapses upstream
+// recursion into a cache hit (the effect the paper credits for most of
+// the resolution-time spread between cached and uncached queries), and
+// the optional client-side stub cache a local proxy can keep so
+// repeated names never leave the vantage host.
+//
+// Caches live on simulated virtual time: expiry compares the entry's
+// absolute expiry instant against the owning World's clock, so cache
+// behaviour is deterministic — two runs (or two shard partitions) that
+// issue the same query sequence at the same virtual times observe the
+// same hits, misses, expirations and evictions. Eviction is LRU over a
+// deterministic access order, so a bounded cache stays deterministic
+// too. A Cache belongs to one World/shard and must not be shared across
+// concurrently running Worlds; sharded campaigns give each shard its
+// own caches and merge the observed statistics in shard order.
+package cache
+
+import (
+	"container/list"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnsmsg"
+)
+
+// Key identifies a cached answer: the paper's resolvers cache per
+// (name, qtype).
+type Key struct {
+	Name string
+	Type dnsmsg.Type
+}
+
+// Entry is one cached answer.
+type Entry struct {
+	Addr netip.Addr
+	// TTL is the answer's original time-to-live at insertion.
+	TTL time.Duration
+	// Expires is the absolute virtual-time instant the entry dies.
+	Expires time.Duration
+}
+
+// Remaining returns the entry's remaining lifetime at virtual time now
+// (negative once expired).
+func (e Entry) Remaining(now time.Duration) time.Duration { return e.Expires - now }
+
+// Stats counts cache behaviour for the evaluation.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes; an expired entry counts as
+	// a miss (and an Expiration).
+	Hits, Misses int
+	// Expirations counts entries found dead by Lookup.
+	Expirations int
+	// Evictions counts LRU evictions under a capacity bound.
+	Evictions int
+}
+
+// HitRatio returns Hits/(Hits+Misses), 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Merge adds o's counters into s (for gathering per-shard cache stats).
+func (s *Stats) Merge(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Expirations += o.Expirations
+	s.Evictions += o.Evictions
+}
+
+type node struct {
+	key Key
+	e   Entry
+}
+
+// Cache is a TTL-aware answer cache with an optional LRU capacity
+// bound. The zero value is not usable; construct with New.
+type Cache struct {
+	now      func() time.Duration
+	capacity int
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+	stats    Stats
+}
+
+// New creates a cache on the given virtual clock. capacity bounds the
+// entry count (LRU eviction); 0 means unbounded.
+func New(now func() time.Duration, capacity int) *Cache {
+	return &Cache{
+		now:      now,
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Len returns the number of live-or-expired entries currently held
+// (expired entries are reaped lazily by Lookup).
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lookup returns the entry for k if present and alive, updating hit or
+// miss counters and the LRU order.
+func (c *Cache) Lookup(k Key) (Entry, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	n := el.Value.(*node)
+	if n.e.Expires <= c.now() {
+		c.lru.Remove(el)
+		delete(c.entries, k)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return n.e, true
+}
+
+// Put inserts or refreshes the answer for k and returns the stored
+// entry. A non-positive ttl stores nothing (the answer is uncacheable)
+// and returns a zero-lifetime entry.
+func (c *Cache) Put(k Key, addr netip.Addr, ttl time.Duration) Entry {
+	now := c.now()
+	e := Entry{Addr: addr, TTL: ttl, Expires: now + ttl}
+	if ttl <= 0 {
+		return Entry{Addr: addr, Expires: now}
+	}
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*node).e = e
+		c.lru.MoveToFront(el)
+		return e
+	}
+	c.entries[k] = c.lru.PushFront(&node{key: k, e: e})
+	if c.capacity > 0 && c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*node).key)
+		c.stats.Evictions++
+	}
+	return e
+}
+
+// Flush drops every entry, keeping the accumulated statistics (used
+// between measurement rounds and by the uncached-baseline ablation).
+func (c *Cache) Flush() {
+	c.entries = make(map[Key]*list.Element)
+	c.lru = list.New()
+}
+
+// TTLSeconds converts a remaining lifetime to the DNS TTL field,
+// rounding up so a just-inserted answer never advertises TTL 0. Every
+// cache layer (resolver answers, stub-cache replies) uses this one
+// rule, so advertised TTLs stay consistent across layers.
+func TTLSeconds(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	return uint32((d + time.Second - 1) / time.Second)
+}
+
+// AnswerQuery builds the cached response for q (an A-record reply with
+// the entry's remaining TTL), or nil when the cache cannot answer. This
+// is the stub-cache fast path: a non-nil reply short-circuits the
+// upstream transport entirely.
+func (c *Cache) AnswerQuery(q *dnsmsg.Message) *dnsmsg.Message {
+	if len(q.Questions) == 0 {
+		return nil
+	}
+	qu := q.Questions[0]
+	if qu.Type != dnsmsg.TypeA {
+		return nil
+	}
+	ent, ok := c.Lookup(Key{Name: qu.Name, Type: qu.Type})
+	if !ok {
+		return nil
+	}
+	resp := dnsmsg.Reply(*q)
+	resp.AnswerA(ent.Addr, TTLSeconds(ent.Remaining(c.now())))
+	return &resp
+}
+
+// StoreResponse caches the first A answer of an upstream response,
+// honouring its TTL. Non-success responses and answerless replies are
+// not cached.
+func (c *Cache) StoreResponse(resp *dnsmsg.Message) {
+	if resp == nil || resp.RCode != dnsmsg.RCodeSuccess {
+		return
+	}
+	for _, a := range resp.Answers {
+		if a.Type == dnsmsg.TypeA && a.Addr.IsValid() {
+			c.Put(Key{Name: a.Name, Type: a.Type}, a.Addr, time.Duration(a.TTL)*time.Second)
+			return
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"repro/internal/cache"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/netem"
@@ -44,6 +45,16 @@ type Config struct {
 
 	// Use0RTT makes resumed upstream sessions attempt 0-RTT (E11).
 	Use0RTT bool
+
+	// StubCache enables a client-side TTL-aware answer cache: queries
+	// for names the proxy has seen (within TTL) are answered locally
+	// without touching the upstream transport, modelling a caching stub
+	// in front of a shared resolver (experiment E18). Unlike upstream
+	// sessions the stub cache deliberately survives ResetSessions — it
+	// is the "warm shared cache" under measurement.
+	StubCache bool
+	// StubCacheCapacity bounds the stub cache (LRU); 0 = unbounded.
+	StubCacheCapacity int
 }
 
 // Proxy is a running DNS forwarder.
@@ -55,6 +66,7 @@ type Proxy struct {
 
 	sessions *tlsmini.SessionCache
 	quicSess *dox.QUICSessionStore
+	stub     *cache.Cache
 
 	primary   dox.Client
 	ephemeral []dox.Client
@@ -63,6 +75,7 @@ type Proxy struct {
 	Queries          int
 	ExtraConnections int // DoT-bug connections that repeated the handshake
 	Failures         int
+	StubHits         int // queries answered from the stub cache
 
 	closed bool
 }
@@ -84,6 +97,9 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 		sock:     sock,
 		sessions: tlsmini.NewSessionCache(),
 		quicSess: dox.NewQUICSessionStore(),
+	}
+	if cfg.StubCache {
+		p.stub = cache.New(p.w.Now, cfg.StubCacheCapacity)
 	}
 	p.w.Go(p.serve)
 	return p, nil
@@ -108,6 +124,13 @@ func (p *Proxy) forward(d netem.Datagram) {
 		return
 	}
 	p.Queries++
+	if p.stub != nil {
+		if resp := p.stub.AnswerQuery(q); resp != nil {
+			p.StubHits++
+			p.sock.Send(d.Src, resp.Encode())
+			return
+		}
+	}
 	client, transient, err := p.client()
 	if err != nil {
 		p.Failures++
@@ -122,6 +145,9 @@ func (p *Proxy) forward(d netem.Datagram) {
 		// Drop: the stub retransmits at its own cadence, exactly the
 		// asymmetry the paper observed between DoUDP and the others.
 		return
+	}
+	if p.stub != nil {
+		p.stub.StoreResponse(resp)
 	}
 	p.sock.Send(d.Src, resp.Encode())
 }

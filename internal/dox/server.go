@@ -1,6 +1,7 @@
 package dox
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"time"
@@ -146,6 +147,18 @@ func (s *Server) ServeTCP() error {
 	return nil
 }
 
+// answerMaxAge derives the HTTP cache-control lifetime from the DNS
+// answer's remaining TTL, so the HTTP transports' cache metadata tracks
+// the resolver's shared answer cache instead of a fixed constant
+// (answerless responses keep the historical 60s).
+func answerMaxAge(resp *dnsmsg.Message) string {
+	ttl := uint32(60)
+	if len(resp.Answers) > 0 {
+		ttl = resp.Answers[0].TTL
+	}
+	return fmt.Sprintf("max-age=%d", ttl)
+}
+
 func (s *Server) tlsServerConfig(alpn []string) tlsmini.Config {
 	return tlsmini.Config{
 		ALPN:                  alpn,
@@ -246,7 +259,7 @@ func (s *Server) ServeDoH() error {
 					return []h2.Header{
 						{Name: ":status", Value: "200"},
 						{Name: "content-type", Value: "application/dns-message"},
-						{Name: "cache-control", Value: "max-age=60"},
+						{Name: "cache-control", Value: answerMaxAge(resp)},
 					}, wire
 				})
 			})
@@ -372,7 +385,7 @@ func (s *Server) ServeDoH3() error {
 					return []h3.Header{
 						{Name: ":status", Value: "200"},
 						{Name: "content-type", Value: "application/dns-message"},
-						{Name: "cache-control", Value: "max-age=60"},
+						{Name: "cache-control", Value: answerMaxAge(resp)},
 					}, wire
 				})
 			})

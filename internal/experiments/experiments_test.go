@@ -19,6 +19,8 @@ func tiny() Config {
 		WebPages:     3,
 		WebResolvers: 2,
 		ScanScale:    32,
+		CacheQueries: 40,
+		CacheNames:   60,
 		Loss:         0.001,
 	}
 }
@@ -34,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -92,10 +94,11 @@ func TestSingleQueryCachedAcrossExperiments(t *testing.T) {
 }
 
 // TestReportsDeterministicAcrossParallelism enforces the acceptance
-// criterion that every experiment E1-E15 — the DoH3 campaigns included
-// — emits a byte-identical report at parallelism 1 and parallelism 8
-// for the same seed. Each parallelism level gets a fresh Runner so
-// campaign caches cannot mask a divergence.
+// criterion that every experiment E1-E18 — the DoH3 campaigns and the
+// cache/Zipf campaigns included — emits a byte-identical report at
+// parallelism 1 and parallelism 8 for the same seed. Each parallelism
+// level gets a fresh Runner so campaign caches cannot mask a
+// divergence.
 func TestReportsDeterministicAcrossParallelism(t *testing.T) {
 	reports := func(par int) map[string]string {
 		cfg := tiny()
@@ -155,6 +158,52 @@ func TestE13DoH3QuerySizesBelowDoH(t *testing.T) {
 	}
 	if h3, h := med(dox.DoH3, total), med(dox.DoH, total); h3 >= h {
 		t.Logf("note: DoH3 median total %v B not below DoH %v B (Initial padding dominates)", h3, h)
+	}
+}
+
+// TestE17UncachedSlowerThanCached enforces the E17 acceptance shape at
+// campaign level: on the lossless baseline, flushing the resolver cache
+// before the measured query makes every transport's median resolve pay
+// upstream recursion.
+func TestE17UncachedSlowerThanCached(t *testing.T) {
+	r := NewRunner(tiny())
+	out, err := runE17(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cached", "uncached", "DoQ", "DoT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E17 output missing %q:\n%s", want, out)
+		}
+	}
+	// The recursion-cost column must be positive for every transport:
+	// an uncached resolve cannot be faster than a cached one on
+	// lossless paths.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		switch fields[0] {
+		case "DoUDP", "DoTCP", "DoQ", "DoH", "DoT":
+			if strings.HasPrefix(fields[3], "-") {
+				t.Errorf("%s: uncached faster than cached: %s", fields[0], line)
+			}
+		}
+	}
+}
+
+// TestE16ReportShape checks the E16 grid covers every skew/TTL cell.
+func TestE16ReportShape(t *testing.T) {
+	r := NewRunner(tiny())
+	out, err := runE16(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"30s", "5m0s", "1h0m0s", "hit ratio", "centre cell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E16 output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -108,6 +108,11 @@ type SingleQueryConfig struct {
 	// Use0RTT is the E11 ablation: offer 0-RTT on resumed QUIC sessions
 	// (DoQ, and DoH3 when it is in the protocol set).
 	Use0RTT bool
+	// FlushResolverCache is the E17 uncached baseline: the resolver's
+	// answer cache is flushed between the warming and the measured
+	// query, so the measured resolve pays full upstream recursion while
+	// the session-level warming (ticket, token, version) still holds.
+	FlushResolverCache bool
 	// QueryTimeout bounds one query (default 15s).
 	QueryTimeout time.Duration
 }
@@ -295,6 +300,11 @@ func (r *vantageRunner) measureOne(globalIdx int, res *resolver.Resolver, proto 
 	if !r.exchange(res, proto, true, &SingleQuerySample{}) {
 		return s
 	}
+	if r.cfg.FlushResolverCache {
+		// E17 uncached baseline: keep the session warming, drop the
+		// answer cache, so the measured query is a clean cold miss.
+		res.FlushCache()
+	}
 	// Actual measurement on a fresh connection.
 	s.OK = r.exchange(res, proto, false, &s)
 	return s
@@ -380,6 +390,13 @@ type WebConfig struct {
 	FixDoTReuse bool
 	// Use0RTT offers 0-RTT on resumed upstream sessions (E11).
 	Use0RTT bool
+	// StubCache gives each combination's DNS proxy a client-side
+	// answer cache that survives session resets: the warming navigation
+	// fills it, so the measured loads resolve repeated names locally
+	// (experiment E18's warm shared cache).
+	StubCache bool
+	// StubCacheCapacity bounds the stub cache (LRU); 0 = unbounded.
+	StubCacheCapacity int
 	// LoadTimeout bounds one page load (default 60s).
 	LoadTimeout time.Duration
 }
@@ -452,9 +469,11 @@ func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, res 
 			Rand:       u.Rand,
 			Now:        u.W.Now,
 		},
-		ListenPort:  listenPort,
-		FixDoTReuse: cfg.FixDoTReuse,
-		Use0RTT:     cfg.Use0RTT,
+		ListenPort:        listenPort,
+		FixDoTReuse:       cfg.FixDoTReuse,
+		Use0RTT:           cfg.Use0RTT,
+		StubCache:         cfg.StubCache,
+		StubCacheCapacity: cfg.StubCacheCapacity,
 	})
 	if err != nil {
 		return nil

@@ -22,6 +22,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
@@ -62,6 +63,9 @@ type Profile struct {
 	RecursiveRTT time.Duration
 	// CacheTTL bounds how long answers stay cached.
 	CacheTTL time.Duration
+	// CacheCapacity bounds the answer cache's entry count (LRU
+	// eviction); 0 means unbounded, the public-resolver default.
+	CacheCapacity int
 }
 
 // PopulationParams controls profile synthesis.
@@ -126,16 +130,6 @@ func SynthesizeProfile(rng *rand.Rand, name string, addr netip.Addr, place geo.P
 	return prof
 }
 
-type cacheKey struct {
-	name string
-	typ  dnsmsg.Type
-}
-
-type cacheEntry struct {
-	addr    netip.Addr
-	expires time.Duration
-}
-
 // Resolver is a running simulated resolver.
 type Resolver struct {
 	Profile
@@ -143,14 +137,15 @@ type Resolver struct {
 	w      *sim.World
 	rng    *rand.Rand
 	server *dox.Server
-	cache  map[cacheKey]cacheEntry
+	// cache is the resolver's shared answer cache: every transport
+	// endpoint feeds the same TTL-aware cache, which is what makes a
+	// warming query over one transport a hit for the measured query.
+	cache *cache.Cache
 
 	// Queries counts handled queries per protocol.
 	Queries map[dox.Protocol]int
 	// Dropped counts deliberately unanswered queries.
 	Dropped int
-	// CacheHits and CacheMisses track cache behaviour.
-	CacheHits, CacheMisses int
 }
 
 // Start brings the resolver up on its host, serving the supported
@@ -162,7 +157,7 @@ func Start(host *netem.Host, prof Profile, rng *rand.Rand) (*Resolver, error) {
 		host:    host,
 		w:       w,
 		rng:     rng,
-		cache:   make(map[cacheKey]cacheEntry),
+		cache:   cache.New(w.Now, prof.CacheCapacity),
 		Queries: make(map[dox.Protocol]int),
 	}
 	identity := tlsmini.GenerateIdentity(rng, prof.Name, prof.CertChainSize)
@@ -222,24 +217,32 @@ func (r *Resolver) handle(q *dnsmsg.Message, proto dox.Protocol, _ netip.AddrPor
 		return &resp
 	}
 	question := q.Questions[0]
-	key := cacheKey{question.Name, question.Type}
-	now := r.w.Now()
-	entry, ok := r.cache[key]
-	if !ok || entry.expires < now {
-		r.CacheMisses++
+	key := cache.Key{Name: question.Name, Type: question.Type}
+	entry, ok := r.cache.Lookup(key)
+	if !ok {
 		r.w.Sleep(r.RecursiveRTT)
-		entry = cacheEntry{addr: SyntheticAddr(question.Name), expires: now + r.CacheTTL}
-		r.cache[key] = entry
-	} else {
-		r.CacheHits++
+		entry = r.cache.Put(key, SyntheticAddr(question.Name), r.CacheTTL)
 	}
 	resp := dnsmsg.Reply(*q)
-	resp.AnswerA(entry.addr, uint32(r.CacheTTL/time.Second))
+	// The advertised TTL is the entry's remaining lifetime, so
+	// downstream (stub) caches expire in lockstep with this resolver.
+	resp.AnswerA(entry.Addr, cache.TTLSeconds(entry.Remaining(r.w.Now())))
 	return &resp
 }
 
-// FlushCache clears the answer cache (used between measurement rounds).
-func (r *Resolver) FlushCache() { r.cache = make(map[cacheKey]cacheEntry) }
+// CacheStats returns the shared answer cache's counters.
+func (r *Resolver) CacheStats() cache.Stats { return r.cache.Stats() }
+
+// CacheHits returns the number of queries answered from cache.
+func (r *Resolver) CacheHits() int { return r.cache.Stats().Hits }
+
+// CacheMisses returns the number of queries that paid upstream
+// recursion.
+func (r *Resolver) CacheMisses() int { return r.cache.Stats().Misses }
+
+// FlushCache clears the answer cache, keeping its statistics (used
+// between measurement rounds and by the uncached-baseline ablation).
+func (r *Resolver) FlushCache() { r.cache.Flush() }
 
 // Close stops all transports.
 func (r *Resolver) Close() { r.server.Close() }

@@ -149,8 +149,41 @@ func TestCacheWarmingMakesSecondQueryFast(t *testing.T) {
 	if warm > rtt+5*time.Millisecond {
 		t.Errorf("warm query %v, want ~RTT (%v)", warm, rtt)
 	}
-	if res.CacheHits != 1 || res.CacheMisses != 1 {
-		t.Errorf("cache hits=%d misses=%d, want 1/1", res.CacheHits, res.CacheMisses)
+	if res.CacheHits() != 1 || res.CacheMisses() != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", res.CacheHits(), res.CacheMisses())
+	}
+}
+
+// TestNoLossSentinel is the regression test for the zero-loss config
+// trap: Loss == 0 keeps selecting the 0.3% default, while the NoLoss
+// sentinel yields genuinely lossless paths — and therefore zero
+// datagram drops on every vantage-resolver path.
+func TestNoLossSentinel(t *testing.T) {
+	counts := map[geo.Continent]int{geo.EU: 2, geo.NA: 1}
+	bp, err := NewBlueprint(UniverseConfig{Seed: 5, ResolverCounts: counts, Loss: NoLoss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Loss != 0 {
+		t.Fatalf("NoLoss blueprint has Loss=%v, want 0", bp.Loss)
+	}
+	defaulted, err := NewBlueprint(UniverseConfig{Seed: 5, ResolverCounts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Loss != 0.003 {
+		t.Fatalf("zero-value Loss = %v, want the 0.3%% default", defaulted.Loss)
+	}
+	u, err := bp.Instantiate(5, Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vp := range u.Vantages {
+		for _, res := range u.Resolvers {
+			if l := u.Net.Path(vp.Host.Addr(), res.Addr).Loss; l != 0 {
+				t.Fatalf("path %s->%s has loss %v under NoLoss", vp.Name, res.Name, l)
+			}
+		}
 	}
 }
 

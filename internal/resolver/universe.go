@@ -43,7 +43,10 @@ type UniverseConfig struct {
 	// Tests and benchmarks use scaled-down counts with the same shape.
 	ResolverCounts map[geo.Continent]int
 	// Loss is the per-path datagram drop rate (default 0.3%), the source
-	// of the paper's retransmission-tail observations.
+	// of the paper's retransmission-tail observations. The zero value
+	// selects the default; a truly lossless universe — the clean cached
+	// baseline of E17 — is requested with the NoLoss sentinel (any
+	// negative value), since 0 cannot distinguish "unset" from "none".
 	Loss float64
 	// Jitter is the per-path delay jitter bound (default 1ms).
 	Jitter time.Duration
@@ -84,10 +87,19 @@ type Blueprint struct {
 	Profiles []Profile
 }
 
+// NoLoss is the UniverseConfig.Loss sentinel for a truly lossless
+// universe. Loss == 0 means "use the 0.3% default" (the config trap
+// this sentinel resolves), so a zero-loss path needs an explicit
+// request.
+const NoLoss = -1.0
+
 // NewBlueprint synthesizes the population described by cfg without
 // binding it to a World.
 func NewBlueprint(cfg UniverseConfig) (*Blueprint, error) {
-	if cfg.Loss == 0 {
+	switch {
+	case cfg.Loss < 0: // NoLoss (or any negative): genuinely lossless
+		cfg.Loss = 0
+	case cfg.Loss == 0:
 		cfg.Loss = 0.003
 	}
 	if cfg.Jitter == 0 {

@@ -27,43 +27,59 @@ func Median(xs []float64) float64 {
 	return s[n/2-1]/2 + s[n/2]/2
 }
 
-// MedianDuration is Median over durations.
-func MedianDuration(xs []time.Duration) time.Duration {
+// integer constrains the integer-valued sample types the evaluation
+// aggregates (byte counts, virtual-time durations).
+type integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64
+}
+
+// midpoint returns the midpoint of a and b without overflowing, the
+// integer analogue of Median's overflow-safe midpoint form. For an odd
+// sum it rounds toward negative infinity.
+func midpoint[T integer](a, b T) T {
+	return (a & b) + ((a ^ b) >> 1)
+}
+
+// medianInteger is Median over any integer-valued sample type, sharing
+// the overflow-safe midpoint with Median.
+func medianInteger[T integer](xs []T) T {
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	s := append([]time.Duration(nil), xs...)
+	s := append([]T(nil), xs...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	if n%2 == 1 {
 		return s[n/2]
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return midpoint(s[n/2-1], s[n/2])
 }
 
+// MedianDuration is Median over durations.
+func MedianDuration(xs []time.Duration) time.Duration { return medianInteger(xs) }
+
 // MedianInt is Median over ints, returning an int.
-func MedianInt(xs []int) int {
-	n := len(xs)
-	if n == 0 {
-		return 0
-	}
-	s := append([]int(nil), xs...)
-	sort.Ints(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
+func MedianInt(xs []int) int { return medianInteger(xs) }
 
 // Percentile returns the p-th percentile (0..100) using linear
 // interpolation between closest ranks.
 func Percentile(xs []float64, p float64) float64 {
-	n := len(xs)
-	if n == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is Percentile over an already-sorted slice, shared by
+// Percentile and the CDF accessors so the latter do not re-copy and
+// re-sort their samples on every call.
+func percentileSorted(s []float64, p float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -116,12 +132,11 @@ func (c *CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.sorted))
 }
 
-// Quantile returns the q-th quantile (0..1).
+// Quantile returns the q-th quantile (0..1). It interpolates directly
+// over the CDF's sorted samples, so each call is O(1) rather than the
+// O(n log n) copy-and-sort a Percentile call would pay.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.sorted) == 0 {
-		return 0
-	}
-	return Percentile(c.sorted, q*100)
+	return percentileSorted(c.sorted, q*100)
 }
 
 // Median returns the 0.5 quantile.

@@ -81,6 +81,38 @@ func TestCDFQuantileMedian(t *testing.T) {
 	}
 }
 
+// TestCDFQuantileMatchesPercentile pins the fast path that interpolates
+// over the CDF's already-sorted samples to the batch Percentile
+// definition.
+func TestCDFQuantileMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	c := NewCDF(xs)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if got, want := c.Quantile(q), Percentile(xs, q*100); got != want {
+			t.Fatalf("Quantile(%v) = %v, want Percentile %v", q, got, want)
+		}
+	}
+}
+
+// TestMedianIntegerNoOverflow is the satellite regression: the even-
+// length midpoint must not overflow for extreme values, as (a+b)/2 did.
+func TestMedianIntegerNoOverflow(t *testing.T) {
+	big := time.Duration(math.MaxInt64)
+	if got := MedianDuration([]time.Duration{big - 1, big}); got != big-1 {
+		t.Errorf("MedianDuration near MaxInt64 = %v, want %v", got, big-1)
+	}
+	if got := MedianInt([]int{math.MaxInt, math.MaxInt - 2}); got != math.MaxInt-1 {
+		t.Errorf("MedianInt near MaxInt = %v, want %v", got, math.MaxInt-1)
+	}
+	if got := MedianInt([]int{math.MinInt, math.MinInt + 2}); got != math.MinInt+1 {
+		t.Errorf("MedianInt near MinInt = %v, want %v", got, math.MinInt+1)
+	}
+}
+
 func TestCDFPointsMonotonic(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	xs := make([]float64, 500)
