@@ -8,8 +8,15 @@
 // application-layer retransmission with its 5-second initial timeout —
 // the mechanism the paper identifies behind DoUDP's outlier tail.
 // Content fetches are analytic (connection setup + per-resource round
-// trip + size/bandwidth): the paper treats web content delivery as a
+// trip + serialization): the paper treats web content delivery as a
 // confound, not a subject, and holds it constant across DNS protocols.
+// Serialization, however, runs through the vantage host's real netem
+// access link (netem.Network.OccupyDown): content downloads reserve the
+// same shared downlink bottleneck the DNS datagrams traverse, so on a
+// slow access network (E21's 3G cell) parallel fetches contend and the
+// access profile's last-mile latency stretches every content round
+// trip. Hosts without an access link keep the historical analytic
+// 50 Mbit/s assumption.
 package browser
 
 import (
@@ -31,12 +38,11 @@ const (
 )
 
 // Engine loads pages from one vantage host through a local DNS proxy.
+// Content-fetch timing comes from the host's netem access link; there
+// is no analytic bandwidth knob.
 type Engine struct {
 	Host  *netem.Host
 	Proxy netip.AddrPort
-	// Bandwidth is the access link bandwidth in bytes/second (default
-	// 6.25 MB/s = 50 Mbit/s).
-	Bandwidth float64
 }
 
 // Result is one page load's outcome.
@@ -48,11 +54,15 @@ type Result struct {
 	Err        error
 }
 
-func (e *Engine) bandwidth() float64 {
-	if e.Bandwidth == 0 {
-		return 6.25e6
+// accessDelay is the one-way last-mile latency of the host's access
+// link, paid on every content round trip (DNS datagrams pay it inside
+// netem itself).
+func (e *Engine) accessDelay() time.Duration {
+	prof, ok := e.Host.Network().AccessLink(e.Host.Addr())
+	if !ok {
+		return 0
 	}
-	return e.Bandwidth
+	return prof.ExtraDelay
 }
 
 // resolve performs one stub lookup through the proxy, with Chromium's
@@ -86,14 +96,23 @@ func (e *Engine) resolve(name string, qid uint16) (netip.Addr, time.Duration, er
 	return netip.Addr{}, w.Now() - start, fmt.Errorf("browser: resolution of %s timed out", name)
 }
 
-// transfer models fetching size bytes over an established connection.
-func (e *Engine) transfer(originRTT time.Duration, size int) time.Duration {
-	return originRTT + time.Duration(float64(size)/e.bandwidth()*float64(time.Second))
+// fetch models retrieving size bytes over an established connection:
+// one request round trip (origin RTT plus the access link's last-mile
+// latency both ways), then serialization through the shared downlink.
+// It sleeps through both phases, reserving the downlink (OccupyDown)
+// only once the request round trip has elapsed — the moment response
+// bytes can actually reach the link — so concurrent fetches and DNS
+// datagrams queue behind real bytes, never behind a request still in
+// flight.
+func (e *Engine) fetch(originRTT time.Duration, size int) {
+	w := e.Host.World()
+	w.Sleep(originRTT + 2*e.accessDelay())
+	w.Sleep(e.Host.Network().OccupyDown(e.Host.Addr(), size))
 }
 
 // connSetup models TCP+TLS 1.3 connection establishment to the origin.
 func (e *Engine) connSetup(originRTT time.Duration) time.Duration {
-	return 2 * originRTT
+	return 2 * (originRTT + 2*e.accessDelay())
 }
 
 // Load performs one cold-start navigation and reports FCP and PLT.
@@ -120,7 +139,7 @@ func (e *Engine) Load(p *pages.Page) Result {
 
 	// Connect to the landing origin and fetch the HTML.
 	w.Sleep(e.connSetup(p.OriginRTT))
-	w.Sleep(e.transfer(p.OriginRTT, p.HTMLSize))
+	e.fetch(p.OriginRTT, p.HTMLSize)
 	htmlDone := w.Now()
 
 	// Group sub-resources by host, preserving page order.
@@ -167,7 +186,7 @@ func (e *Engine) Load(p *pages.Page) Result {
 				w.Sleep(e.connSetup(p.OriginRTT))
 			}
 			for _, r := range hw.resources {
-				w.Sleep(e.transfer(p.OriginRTT, r.Size))
+				e.fetch(p.OriginRTT, r.Size)
 				if r.Critical && w.Now() > criticalDone {
 					criticalDone = w.Now()
 				}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dox"
 	"repro/internal/measure"
@@ -36,7 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -190,6 +191,88 @@ func TestE17UncachedSlowerThanCached(t *testing.T) {
 				t.Errorf("%s: uncached faster than cached: %s", fields[0], line)
 			}
 		}
+	}
+}
+
+// TestE19GridCoversAllProfiles checks the access grid reports one row
+// per named profile and that the satellite handshake medians dwarf
+// fiber's (the orbit RTT must be visible, or the access link is not
+// being applied).
+func TestE19GridCoversAllProfiles(t *testing.T) {
+	r := NewRunner(tiny())
+	out, err := runE19(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fiber", "cable", "4g", "3g", "satellite"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E19 output missing profile %q:\n%s", want, out)
+		}
+	}
+	cells, err := r.AccessGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := func(profile string, p dox.Protocol) float64 {
+		for _, c := range cells {
+			if c.Profile != profile {
+				continue
+			}
+			var xs []float64
+			for _, s := range c.Samples {
+				if s.OK && s.Protocol == p {
+					xs = append(xs, float64(s.Handshake))
+				}
+			}
+			return stats.Median(xs)
+		}
+		t.Fatalf("no cell for profile %q", profile)
+		return 0
+	}
+	fiber, sat := med("fiber", dox.DoQ), med("satellite", dox.DoQ)
+	// The satellite profile adds 280ms of one-way orbit latency, so a
+	// one-round-trip handshake gains ~560ms over fiber.
+	if sat < fiber+float64(500*time.Millisecond) {
+		t.Errorf("satellite DoQ handshake median %.1fms not >= fiber %.1fms + 500ms orbit RTT",
+			sat/1e6, fiber/1e6)
+	}
+}
+
+// TestE20DoQTailBeatsTCPTransports enforces the E20 acceptance
+// criterion at campaign level: in the bursty windows of the schedule,
+// DoQ's resolve-time tail must sit below DoT's and DoH's — QUIC's probe
+// timeout undercuts the TCP transports' RTO under the same loss bursts.
+func TestE20DoQTailBeatsTCPTransports(t *testing.T) {
+	// Tail quantiles need more samples than tiny()'s ten resolvers
+	// provide: at ~25 bursty samples per transport, p95 is decided by a
+	// single exchange's burst luck rather than by the recovery timers.
+	cfg := tiny()
+	cfg.Resolvers = 24
+	r := NewRunner(cfg)
+	samples, err := r.BurstLossCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := func(p dox.Protocol) float64 {
+		var xs []float64
+		for _, s := range samples {
+			if s.OK && s.Protocol == p && e20InBurst(s.At) {
+				xs = append(xs, float64(s.Resolve))
+			}
+		}
+		if len(xs) < 5 {
+			t.Fatalf("only %d bursty samples for %v; schedule phases not visited", len(xs), p)
+		}
+		// p90, the report's headline tail (see runE20: p95 is one
+		// exchange's burst luck at this scale).
+		return stats.NewCDF(xs).Quantile(0.90)
+	}
+	doq, dot, doh := tail(dox.DoQ), tail(dox.DoT), tail(dox.DoH)
+	if doq >= dot {
+		t.Errorf("DoQ bursty p90 %.1fms not below DoT %.1fms", doq/1e6, dot/1e6)
+	}
+	if doq >= doh {
+		t.Errorf("DoQ bursty p90 %.1fms not below DoH %.1fms", doq/1e6, doh/1e6)
 	}
 }
 

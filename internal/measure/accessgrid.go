@@ -1,0 +1,119 @@
+package measure
+
+import (
+	"repro/internal/dox"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/pages"
+	"repro/internal/resolver"
+)
+
+// This file implements the access-network profile grids of E19 and E21:
+// the same blueprint population is rebuilt once per named netem access
+// profile (fiber / cable / 4g / 3g / satellite) and the corresponding
+// campaign runs against each. Because the blueprint seed is identical
+// across cells, the resolver population, the vantage placement and all
+// per-resolver randomness match exactly — the only difference between
+// two cells is the access link every vantage sits behind, so any shift
+// in the medians is attributable to the link model alone.
+
+// AccessGridConfig parameterizes a profile-grid campaign.
+type AccessGridConfig struct {
+	// Seed is the blueprint (and campaign) seed, shared by every cell.
+	Seed int64
+	// ResolverCounts sizes the population (see resolver.ScaledCounts).
+	ResolverCounts map[geo.Continent]int
+	// Loss is the per-path loss rate (resolver.UniverseConfig semantics:
+	// 0 = the 0.3% default, resolver.NoLoss = lossless).
+	Loss float64
+	// Profiles lists the netem access-profile names of the grid rows
+	// (default: all named profiles, best to worst).
+	Profiles []string
+	// Parallelism caps each cell campaign's worker pool.
+	Parallelism int
+
+	// Protocols and Rounds parameterize the single-query cells.
+	Protocols []dox.Protocol
+	Rounds    int
+
+	// Pages and Loads parameterize the web cells.
+	Pages []*pages.Page
+	Loads int
+}
+
+func (c *AccessGridConfig) profiles() []string {
+	if len(c.Profiles) > 0 {
+		return c.Profiles
+	}
+	return netem.ProfileNames()
+}
+
+// AccessGridCell is one profile's single-query sample stream.
+type AccessGridCell struct {
+	Profile string
+	Samples []SingleQuerySample
+}
+
+// AccessWebGridCell is one profile's web sample stream.
+type AccessWebGridCell struct {
+	Profile string
+	Samples []WebSample
+}
+
+func (c AccessGridConfig) blueprint(profile string) (*resolver.Blueprint, error) {
+	return resolver.NewBlueprint(resolver.UniverseConfig{
+		Seed:           c.Seed,
+		ResolverCounts: c.ResolverCounts,
+		Loss:           c.Loss,
+		Access:         profile,
+	})
+}
+
+// RunAccessGrid runs the single-query campaign once per access profile,
+// in profile order. Each cell is itself a sharded campaign, so cells
+// inherit the byte-identical-at-any-parallelism guarantee; the grid
+// adds no randomness of its own.
+func RunAccessGrid(cfg AccessGridConfig) ([]AccessGridCell, error) {
+	var out []AccessGridCell
+	for _, profile := range cfg.profiles() {
+		bp, err := cfg.blueprint(profile)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := RunSingleQuery(SingleQueryConfig{
+			Blueprint:   bp,
+			Parallelism: cfg.Parallelism,
+			Protocols:   cfg.Protocols,
+			Rounds:      cfg.Rounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AccessGridCell{Profile: profile, Samples: samples})
+	}
+	return out, nil
+}
+
+// RunAccessWebGrid runs the web campaign once per access profile, in
+// profile order.
+func RunAccessWebGrid(cfg AccessGridConfig) ([]AccessWebGridCell, error) {
+	var out []AccessWebGridCell
+	for _, profile := range cfg.profiles() {
+		bp, err := cfg.blueprint(profile)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := RunWeb(WebConfig{
+			Blueprint:   bp,
+			Parallelism: cfg.Parallelism,
+			Protocols:   cfg.Protocols,
+			Pages:       cfg.Pages,
+			Loads:       cfg.Loads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AccessWebGridCell{Profile: profile, Samples: samples})
+	}
+	return out, nil
+}

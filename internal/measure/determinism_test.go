@@ -3,9 +3,11 @@ package measure
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/dox"
 	"repro/internal/geo"
+	"repro/internal/netem"
 	"repro/internal/pages"
 	"repro/internal/resolver"
 )
@@ -108,6 +110,86 @@ func TestSingleQueryRunToRunIdentity(t *testing.T) {
 	}
 	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
 		t.Fatal("two identical-seed campaign runs produced different samples")
+	}
+}
+
+// TestAccessGridDeterministicAcrossParallelism extends the campaign
+// guarantee to the E19/E21 profile grids: every cell's sample stream
+// must be byte-identical at parallelism 1 and N. The grid also exercises
+// the netem link model (bandwidth queues, access links, burst loss on
+// the satellite profile), so a divergence here points at link state
+// leaking across shards.
+func TestAccessGridDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) []AccessGridCell {
+		cells, err := RunAccessGrid(AccessGridConfig{
+			Seed:           2022,
+			ResolverCounts: resolver.ScaledCounts(6),
+			Profiles:       []string{"fiber", "3g", "satellite"},
+			Parallelism:    par,
+			Protocols:      []dox.Protocol{dox.DoUDP, dox.DoQ, dox.DoT},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	base := run(1)
+	if len(base) != 3 || len(base[0].Samples) == 0 {
+		t.Fatalf("unexpected grid shape: %d cells", len(base))
+	}
+	if got := run(8); !reflect.DeepEqual(base, got) {
+		t.Fatal("access grid differs between parallelism 1 and 8")
+	}
+}
+
+// TestScheduledCampaignDeterministicAndPaced drives a single-query
+// campaign over a time-varying burst-loss schedule (the E20 shape) and
+// checks (a) two same-seed runs agree exactly, and (b) QuerySpacing
+// paces the samples of each shard apart so the schedule's phases are
+// all visited.
+func TestScheduledCampaignDeterministicAndPaced(t *testing.T) {
+	const spacing = 2 * time.Second
+	run := func(par int) []SingleQuerySample {
+		bp, err := resolver.NewBlueprint(resolver.UniverseConfig{
+			Seed:           2022,
+			ResolverCounts: resolver.ScaledCounts(8),
+			PathPhases: []resolver.PathPhase{
+				{At: 0, Loss: 0.003},
+				{At: 20 * time.Second, Burst: netem.BurstLoss{PGoodBad: 0.08, PBadGood: 0.25, LossBad: 0.45}},
+				{At: 60 * time.Second, Loss: 0.003},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := RunSingleQuery(SingleQueryConfig{
+			Blueprint:    bp,
+			Parallelism:  par,
+			Protocols:    []dox.Protocol{dox.DoQ, dox.DoT},
+			QuerySpacing: spacing,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	base := run(1)
+	if got := run(4); !reflect.DeepEqual(base, got) {
+		t.Fatal("scheduled campaign differs between parallelism 1 and 4")
+	}
+	var maxAt time.Duration
+	for i, s := range base {
+		if i > 0 && base[i-1].Vantage == s.Vantage && s.At > 0 && base[i-1].At > 0 {
+			if gap := s.At - base[i-1].At; gap < spacing {
+				t.Fatalf("samples %d and %d only %v apart, want >= %v", i-1, i, gap, spacing)
+			}
+		}
+		if s.At > maxAt {
+			maxAt = s.At
+		}
+	}
+	if maxAt < 20*time.Second {
+		t.Fatalf("campaign ended at %v, never reached the burst phase", maxAt)
 	}
 }
 

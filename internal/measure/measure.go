@@ -68,8 +68,12 @@ type SingleQuerySample struct {
 	// answer. With 0-RTT the handshake and the query overlap, so Total
 	// < Handshake+Resolve.
 	Total time.Duration
-	M     dox.Metrics
-	OK    bool
+	// At is the (shard-local) virtual time the measured exchange began;
+	// experiments running under a time-varying path schedule (E20) use
+	// it to attribute the sample to a schedule phase.
+	At time.Duration
+	M  dox.Metrics
+	OK bool
 }
 
 // SingleQueryConfig parameterizes a single-query campaign.
@@ -113,6 +117,11 @@ type SingleQueryConfig struct {
 	// query, so the measured resolve pays full upstream recursion while
 	// the session-level warming (ticket, token, version) still holds.
 	FlushResolverCache bool
+	// QuerySpacing paces the combinations of one shard apart in virtual
+	// time (default 0: back to back). Campaigns under a time-varying
+	// path schedule use it to spread measurements across the schedule's
+	// phases.
+	QuerySpacing time.Duration
 	// QueryTimeout bounds one query (default 15s).
 	QueryTimeout time.Duration
 }
@@ -214,6 +223,9 @@ func singleQueryShardBody(u *resolver.Universe, vp *resolver.Vantage, cfg Single
 				s := runner.measureOne(u.GlobalResolverIdx(idx), res, proto)
 				s.Round = round
 				out = append(out, s)
+				if cfg.QuerySpacing > 0 {
+					u.W.Sleep(cfg.QuerySpacing)
+				}
 			}
 		}
 		if round < cfg.Rounds-1 {
@@ -306,6 +318,7 @@ func (r *vantageRunner) measureOne(globalIdx int, res *resolver.Resolver, proto 
 		res.FlushCache()
 	}
 	// Actual measurement on a fresh connection.
+	s.At = r.u.W.Now()
 	s.OK = r.exchange(res, proto, false, &s)
 	return s
 }

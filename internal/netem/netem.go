@@ -1,10 +1,16 @@
 // Package netem emulates an Internet of hosts exchanging datagrams over
-// paths with configurable propagation delay, jitter, loss, and MTU.
+// paths with configurable propagation delay, jitter, loss, and MTU, plus
+// a dynamic link model: per-path bottleneck bandwidth with a bounded
+// tail-drop FIFO queue, Gilbert–Elliott two-state burst loss,
+// time-varying path schedules, and per-host access links drawn from
+// named access-network profiles (see profiles.go).
 //
 // netem sits directly on top of the sim kernel: sending a datagram
 // schedules its delivery at Now()+delay on the destination host's socket
-// queue. Transport protocols (internal/tcpsim, internal/quic) and plain
-// UDP applications all run over netem sockets.
+// queue, where delay includes propagation, serialization through every
+// bottleneck on the way (path and access links), and queueing behind
+// earlier datagrams. Transport protocols (internal/tcpsim,
+// internal/quic) and plain UDP applications all run over netem sockets.
 //
 // Byte accounting follows the paper's convention of counting IP payload
 // bytes: each socket is created with a per-datagram header overhead (8 for
@@ -17,10 +23,29 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
 )
+
+// BurstLoss is a Gilbert–Elliott two-state loss model. The chain sits in
+// a good or a bad state; each datagram first draws a state transition,
+// then a drop with the state's loss probability. Mean burst length is
+// 1/PBadGood datagrams. The zero value disables the model.
+type BurstLoss struct {
+	// PGoodBad is the per-datagram probability of entering the bad state.
+	PGoodBad float64
+	// PBadGood is the per-datagram probability of leaving the bad state.
+	PBadGood float64
+	// LossGood is the drop probability in the good state (usually 0).
+	LossGood float64
+	// LossBad is the drop probability in the bad state.
+	LossBad float64
+}
+
+// Enabled reports whether the model has a reachable bad state.
+func (b BurstLoss) Enabled() bool { return b.PGoodBad > 0 && b.PBadGood > 0 }
 
 // PathParams describes one direction of a network path.
 type PathParams struct {
@@ -30,13 +55,41 @@ type PathParams struct {
 	Jitter time.Duration
 	// Loss is the independent per-datagram drop probability in [0, 1).
 	Loss float64
+	// Burst adds Gilbert–Elliott burst loss on top of (or instead of)
+	// the independent Loss. Burst state is kept per directional path and
+	// survives schedule changes, so a bad burst can straddle a phase
+	// boundary exactly like a real fade.
+	Burst BurstLoss
 	// MTU caps the datagram payload size; larger datagrams are dropped.
 	// Zero means 1500.
 	MTU int
+	// Bandwidth is the bottleneck rate in bytes/second. Zero means
+	// infinitely fast (no serialization delay, no queue). A positive
+	// value serializes every datagram through a FIFO queue on virtual
+	// time: a datagram departs at max(now, link busy-until) + size/rate.
+	Bandwidth float64
+	// QueueBytes bounds the bottleneck queue: a datagram whose arrival
+	// would push the backlog past this many bytes is tail-dropped
+	// (counted in Drops.Overflow). Zero means DefaultQueueBytes.
+	QueueBytes int
 }
 
 // DefaultMTU is used when PathParams.MTU is zero.
 const DefaultMTU = 1500
+
+// DefaultQueueBytes is the bottleneck queue bound used when
+// PathParams.QueueBytes (or AccessProfile.QueueBytes) is zero: 50
+// full-size datagrams, a common router default.
+const DefaultQueueBytes = 50 * DefaultMTU
+
+// PathStep is one phase of a time-varying path schedule.
+type PathStep struct {
+	// At is the virtual time this step takes effect.
+	At time.Duration
+	// Params are the path parameters in effect from At until the next
+	// step (or forever, for the last step).
+	Params PathParams
+}
 
 // Proto is an IP protocol number; netem keeps separate port spaces per
 // protocol, like a real host.
@@ -55,6 +108,24 @@ type Datagram struct {
 	Payload  []byte
 }
 
+// Drops counts dropped datagrams by cause. The split matters for
+// diagnostics: a loss-model drop is the network behaving as configured,
+// a queue overflow means a bottleneck is saturated, and a no-route drop
+// is usually a test bug.
+type Drops struct {
+	// Loss counts random-loss drops (independent or burst-state).
+	Loss int
+	// MTU counts datagrams larger than the path MTU.
+	MTU int
+	// NoRoute counts datagrams to unknown hosts or unbound ports.
+	NoRoute int
+	// Overflow counts bottleneck-queue tail drops.
+	Overflow int
+}
+
+// Total sums all causes.
+func (d Drops) Total() int { return d.Loss + d.MTU + d.NoRoute + d.Overflow }
+
 // Network is the root object: a set of hosts and the paths between them.
 type Network struct {
 	World *sim.World
@@ -62,10 +133,15 @@ type Network struct {
 	hosts       map[netip.Addr]*Host
 	defaultPath PathParams
 	paths       map[pathKey]PathParams
+	schedules   map[pathKey][]PathStep
+	links       map[pathKey]*linkState
+	access      map[netip.Addr]*accessLink
 	rng         *rand.Rand
 
-	// Delivered and Dropped count datagrams for diagnostics.
-	Delivered, Dropped int
+	// Delivered counts delivered datagrams; Drops counts dropped ones by
+	// cause (see Drops).
+	Delivered int
+	Drops     Drops
 
 	// Trace, when set, observes every datagram send before the loss and
 	// jitter draws. It exists for determinism debugging: diffing the
@@ -77,6 +153,35 @@ type Network struct {
 
 type pathKey struct{ src, dst netip.Addr }
 
+// linkState is the mutable per-directional-link state: the FIFO clock,
+// the datagram backlog bucket, and the Gilbert–Elliott chain state.
+//
+// busyUntil tracks all occupancy (datagrams plus OccupyDown bulk
+// reservations). The tail-drop bound judges only dgBytes — the bytes
+// of datagrams in the buffer, drained at link rate since dgAsOf —
+// never time spent waiting behind a bulk reservation: a bulk transfer
+// delays datagrams (by at most a full queue of serialization time) but
+// cannot starve them out of the queue, just as a TCP download's
+// in-flight bytes are capped by the same buffer the datagrams share.
+// dgDepart is the last datagram's departure, the FIFO floor among
+// datagrams.
+type linkState struct {
+	busyUntil time.Duration
+	dgBytes   int
+	dgAsOf    time.Duration
+	dgDepart  time.Duration
+	bad       bool
+}
+
+// accessLink is a host's access network: one shared bottleneck per
+// direction, traversed by every non-loopback datagram the host sends or
+// receives — and occupied by analytic bulk transfers (OccupyDown), so
+// web content and DNS datagrams contend for the same link.
+type accessLink struct {
+	prof     AccessProfile
+	up, down linkState
+}
+
 // NewNetwork creates an empty network on w. The default path (used when
 // no explicit path is configured) has 10ms delay and no loss.
 func NewNetwork(w *sim.World) *Network {
@@ -85,9 +190,15 @@ func NewNetwork(w *sim.World) *Network {
 		hosts:       make(map[netip.Addr]*Host),
 		defaultPath: PathParams{Delay: 10 * time.Millisecond},
 		paths:       make(map[pathKey]PathParams),
+		schedules:   make(map[pathKey][]PathStep),
+		links:       make(map[pathKey]*linkState),
+		access:      make(map[netip.Addr]*accessLink),
 		rng:         rand.New(rand.NewSource(w.Rand().Int63())),
 	}
 }
+
+// Dropped returns the total dropped-datagram count across all causes.
+func (n *Network) Dropped() int { return n.Drops.Total() }
 
 // SetDefaultPath sets the parameters used for host pairs without an
 // explicit path.
@@ -106,9 +217,109 @@ func (n *Network) SetSymmetricPath(a, b netip.Addr, p PathParams) {
 	n.SetPath(b, a, p)
 }
 
-// Path returns the effective parameters from src to dst.
+// SetPathSchedule installs a time-varying schedule on the directional
+// path from src to dst: from steps[i].At (virtual time) onward the
+// path uses steps[i].Params, until the next step takes over; the last
+// step holds forever. Before steps[0].At the static SetPath (or
+// default) parameters apply. Steps must be in ascending At order. Link
+// state — queue backlog and burst-loss state — persists across steps,
+// so a path can degrade and recover mid-campaign without resetting its
+// bottleneck. An empty steps slice removes the schedule.
+func (n *Network) SetPathSchedule(src, dst netip.Addr, steps []PathStep) {
+	n.setPathSchedule(pathKey{src, dst}, append([]PathStep(nil), steps...))
+}
+
+func (n *Network) setPathSchedule(key pathKey, steps []PathStep) {
+	if len(steps) == 0 {
+		delete(n.schedules, key)
+		return
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].At < steps[i-1].At {
+			panic(fmt.Sprintf("netem: schedule steps out of order: step %d at %v after %v", i, steps[i].At, steps[i-1].At))
+		}
+	}
+	n.schedules[key] = steps
+}
+
+// SetSymmetricPathSchedule installs the same schedule in both
+// directions. The two directions share one backing slice (schedules
+// are read-only once installed), so long schedules on many paths don't
+// double their memory.
+func (n *Network) SetSymmetricPathSchedule(a, b netip.Addr, steps []PathStep) {
+	cp := append([]PathStep(nil), steps...)
+	n.setPathSchedule(pathKey{a, b}, cp)
+	n.setPathSchedule(pathKey{b, a}, cp)
+}
+
+// SetAccessLink attaches an access-network profile to a host: every
+// non-loopback datagram the host sends traverses the profile's uplink
+// (serialization + queue + loss + extra delay) and every datagram it
+// receives traverses the downlink. Use AccessProfile{} to detach.
+func (n *Network) SetAccessLink(addr netip.Addr, prof AccessProfile) {
+	if prof == (AccessProfile{}) {
+		delete(n.access, addr)
+		return
+	}
+	n.access[addr] = &accessLink{prof: prof}
+}
+
+// AccessLink returns the host's access profile, if one is attached.
+func (n *Network) AccessLink(addr netip.Addr) (AccessProfile, bool) {
+	al, ok := n.access[addr]
+	if !ok {
+		return AccessProfile{}, false
+	}
+	return al.prof, true
+}
+
+// DefaultDownloadRate is the analytic bulk-download rate (bytes/second)
+// OccupyDown assumes for hosts without an access link: 50 Mbit/s, the
+// historical fixed assumption of internal/browser.
+const DefaultDownloadRate = 6.25e6
+
+// OccupyDown reserves the host's downlink for a bulk transfer of size
+// bytes starting now and returns the time until the transfer completes
+// (queueing behind whatever the downlink is already carrying, then
+// serializing at the downlink rate). It models an application-layer
+// byte stream with its own reliability (an HTTP response over TCP), so
+// no loss or queue bound applies — but the reservation advances the
+// shared downlink clock, so concurrent transfers and DNS datagrams
+// contend for the same bottleneck. Hosts without an access link (or
+// with an unshaped downlink) get the analytic DefaultDownloadRate with
+// no shared state.
+func (n *Network) OccupyDown(addr netip.Addr, size int) time.Duration {
+	now := n.World.Now()
+	al := n.access[addr]
+	if al == nil || al.prof.Down <= 0 {
+		return time.Duration(float64(size) / DefaultDownloadRate * float64(time.Second))
+	}
+	ser := time.Duration(float64(size) / al.prof.Down * float64(time.Second))
+	depart := al.down.busyUntil
+	if depart < now {
+		depart = now
+	}
+	depart += ser
+	al.down.busyUntil = depart
+	return depart - now
+}
+
+// Path returns the effective parameters from src to dst at the current
+// virtual time (honouring any installed schedule).
 func (n *Network) Path(src, dst netip.Addr) PathParams {
-	if p, ok := n.paths[pathKey{src, dst}]; ok {
+	return n.PathAt(src, dst, n.World.Now())
+}
+
+// PathAt returns the effective parameters from src to dst at virtual
+// time at. Schedule lookup is a binary search: send() calls this per
+// datagram, and schedules can hold hundreds of steps (E20).
+func (n *Network) PathAt(src, dst netip.Addr, at time.Duration) PathParams {
+	key := pathKey{src, dst}
+	if steps := n.schedules[key]; len(steps) > 0 && at >= steps[0].At {
+		i := sort.Search(len(steps), func(i int) bool { return steps[i].At > at })
+		return steps[i-1].Params
+	}
+	if p, ok := n.paths[key]; ok {
 		return p
 	}
 	return n.defaultPath
@@ -123,50 +334,203 @@ func (n *Network) Host(addr netip.Addr) *Host {
 		net:           n,
 		addr:          addr,
 		ports:         make(map[portKey]*Socket),
-		nextEphemeral: 49152,
+		nextEphemeral: firstEphemeral,
 	}
 	n.hosts[addr] = h
 	return h
 }
 
-// send routes a datagram, applying the path model. Unknown destinations
-// and lossy drops are counted in Dropped.
-func (n *Network) send(d Datagram) {
-	if n.Trace != nil {
-		n.Trace(d, n.World.Now())
+// link returns (creating on first use) the mutable state of the
+// directional link identified by key.
+func (n *Network) link(key pathKey) *linkState {
+	ls, ok := n.links[key]
+	if !ok {
+		ls = &linkState{}
+		n.links[key] = ls
 	}
-	p := n.Path(d.Src.Addr(), d.Dst.Addr())
+	return ls
+}
+
+// lossPass draws the loss models against ls and reports whether the
+// datagram survives. The burst chain transitions first (state evolves
+// whether or not the datagram is dropped), then the state's loss, then
+// the independent loss.
+func (n *Network) lossPass(ls *linkState, loss float64, burst BurstLoss) bool {
+	if burst.Enabled() {
+		if ls.bad {
+			if n.rng.Float64() < burst.PBadGood {
+				ls.bad = false
+			}
+		} else if n.rng.Float64() < burst.PGoodBad {
+			ls.bad = true
+		}
+		p := burst.LossGood
+		if ls.bad {
+			p = burst.LossBad
+		}
+		if p > 0 && n.rng.Float64() < p {
+			return false
+		}
+	}
+	if loss > 0 && n.rng.Float64() < loss {
+		return false
+	}
+	return true
+}
+
+// serialize pushes size bytes through a bottleneck of rate bytes/second
+// with the datagram arriving at the bottleneck at arrive. It returns
+// the departure time and whether the datagram fit in the queue: the
+// tail-drop bound (queueBytes) judges the datagram-only backlog, while
+// bulk OccupyDown reservations add waiting time capped at one full
+// queue of serialization (the datagram sits behind at most queueBytes
+// of the stream's bytes). rate <= 0 means an unshaped link: depart
+// immediately.
+func (n *Network) serialize(ls *linkState, rate float64, queueBytes int, size int, arrive time.Duration) (time.Duration, bool) {
+	if rate <= 0 {
+		return arrive, true
+	}
+	if queueBytes == 0 {
+		queueBytes = DefaultQueueBytes
+	}
+	// Drain the datagram byte bucket at link rate. Arrivals at one link
+	// are monotone in virtual time (same-pair sends are ordered, and
+	// downlink legs run off a sorted timer heap).
+	if arrive > ls.dgAsOf {
+		ls.dgBytes -= int(float64(arrive-ls.dgAsOf) / float64(time.Second) * rate)
+		if ls.dgBytes < 0 {
+			ls.dgBytes = 0
+		}
+		ls.dgAsOf = arrive
+	}
+	if ls.dgBytes+size > queueBytes {
+		return 0, false
+	}
+	ls.dgBytes += size
+	// FIFO position: behind everything already admitted, but waiting
+	// behind a bulk reservation is capped at one full queue of
+	// serialization time; datagrams then drain serially (dgDepart).
+	start := arrive
+	if ls.busyUntil > start {
+		start = min(ls.busyUntil, arrive+time.Duration(float64(queueBytes)/rate*float64(time.Second)))
+	}
+	if ls.dgDepart > start {
+		start = ls.dgDepart
+	}
+	depart := start + time.Duration(float64(size)/rate*float64(time.Second))
+	ls.dgDepart = depart
+	if depart > ls.busyUntil {
+		ls.busyUntil = depart
+	}
+	return depart, true
+}
+
+// send routes a datagram, applying the path model: loss (burst and
+// independent), the bottleneck queue, access links on both ends, then
+// propagation delay and jitter. Drops are counted by cause in Drops.
+// wire is the datagram's on-the-wire size (payload plus the sending
+// socket's per-datagram header overhead), the size the bottlenecks
+// serialize — matching the package's byte-accounting convention.
+//
+// The uplink leg and the path bottleneck are processed at send time:
+// both sit at the sender, and all traffic sharing them originates from
+// the same host, so send order equals bottleneck-arrival order. The
+// downlink leg is deferred to the datagram's arrival at the receiver's
+// access link (a second timer): that bottleneck is shared by flows
+// with different path delays, and serializing it at send time would
+// queue datagrams in send order rather than in the order their bytes
+// actually reach the link.
+func (n *Network) send(d Datagram, wire int) {
+	now := n.World.Now()
+	if n.Trace != nil {
+		n.Trace(d, now)
+	}
+	src, dst := d.Src.Addr(), d.Dst.Addr()
+	key := pathKey{src, dst}
+	p := n.PathAt(src, dst, now)
 	mtu := p.MTU
 	if mtu == 0 {
 		mtu = DefaultMTU
 	}
 	if len(d.Payload) > mtu {
-		n.Dropped++
+		n.Drops.MTU++
 		return
 	}
-	if p.Loss > 0 && n.rng.Float64() < p.Loss {
-		n.Dropped++
+	loopback := src == dst
+
+	// Uplink leg of the sender's access network.
+	at := now
+	if al := n.access[src]; al != nil && !loopback {
+		if !n.lossPass(&al.up, al.prof.Loss, al.prof.Burst) {
+			n.Drops.Loss++
+			return
+		}
+		depart, ok := n.serialize(&al.up, al.prof.Up, al.prof.QueueBytes, wire, at)
+		if !ok {
+			n.Drops.Overflow++
+			return
+		}
+		at = depart + al.prof.ExtraDelay
+	}
+
+	// The path itself: loss models, then the bottleneck queue.
+	ls := n.link(key)
+	if !n.lossPass(ls, p.Loss, p.Burst) {
+		n.Drops.Loss++
 		return
 	}
-	delay := p.Delay
+	depart, ok := n.serialize(ls, p.Bandwidth, p.QueueBytes, wire, at)
+	if !ok {
+		n.Drops.Overflow++
+		return
+	}
+	at = depart + p.Delay
 	if p.Jitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(p.Jitter)))
+		at += time.Duration(n.rng.Int63n(int64(p.Jitter)))
 	}
-	n.World.AfterFunc(delay, func() {
-		host, ok := n.hosts[d.Dst.Addr()]
-		if !ok {
-			n.Dropped++
+
+	n.World.AfterFunc(at-now, func() {
+		// Downlink leg of the receiver's access network, serialized at
+		// actual arrival time.
+		if al := n.access[dst]; al != nil && !loopback {
+			arrive := n.World.Now()
+			if !n.lossPass(&al.down, al.prof.Loss, al.prof.Burst) {
+				n.Drops.Loss++
+				return
+			}
+			depart, ok := n.serialize(&al.down, al.prof.Down, al.prof.QueueBytes, wire, arrive)
+			if !ok {
+				n.Drops.Overflow++
+				return
+			}
+			n.World.AfterFunc(depart+al.prof.ExtraDelay-arrive, func() { n.deliver(d) })
 			return
 		}
-		sock, ok := host.ports[portKey{d.Proto, d.Dst.Port()}]
-		if !ok {
-			n.Dropped++
-			return
-		}
-		n.Delivered++
-		sock.deliver(d)
+		n.deliver(d)
 	})
 }
+
+// deliver hands a datagram to the destination socket, if any.
+func (n *Network) deliver(d Datagram) {
+	host, ok := n.hosts[d.Dst.Addr()]
+	if !ok {
+		n.Drops.NoRoute++
+		return
+	}
+	sock, ok := host.ports[portKey{d.Proto, d.Dst.Port()}]
+	if !ok {
+		n.Drops.NoRoute++
+		return
+	}
+	n.Delivered++
+	sock.deliver(d)
+}
+
+// The ephemeral port range (RFC 6335).
+const (
+	firstEphemeral uint16 = 49152
+	ephemeralSpan  int    = 65536 - int(firstEphemeral)
+)
 
 // Host is a network endpoint with per-protocol port spaces.
 type Host struct {
@@ -209,19 +573,23 @@ func (h *Host) Listen(proto Proto, port uint16, overhead int) (*Socket, error) {
 	return s, nil
 }
 
-// Dial binds a socket to a fresh ephemeral port.
+// Dial binds a socket to a fresh ephemeral port. It panics with a
+// diagnostic if the entire ephemeral range (49152–65535) is bound — a
+// leaked-socket bug that previously spun forever.
 func (h *Host) Dial(proto Proto, overhead int) *Socket {
-	for {
+	for tries := 0; tries < ephemeralSpan; tries++ {
 		port := h.nextEphemeral
 		h.nextEphemeral++
 		if h.nextEphemeral == 0 {
-			h.nextEphemeral = 49152
+			h.nextEphemeral = firstEphemeral
 		}
 		if _, ok := h.ports[portKey{proto, port}]; !ok {
 			s, _ := h.Listen(proto, port, overhead)
 			return s
 		}
 	}
+	panic(fmt.Sprintf("netem: host %v: ephemeral port space exhausted for proto %d (%d sockets bound; leaking sockets?)",
+		h.addr, proto, len(h.ports)))
 }
 
 // Socket is a bound datagram endpoint.
@@ -251,7 +619,7 @@ func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
 	}
 	s.TxBytes += len(payload) + s.overhead
 	s.TxDatagrams++
-	s.host.net.send(Datagram{Proto: s.proto, Src: s.local, Dst: dst, Payload: payload})
+	s.host.net.send(Datagram{Proto: s.proto, Src: s.local, Dst: dst, Payload: payload}, len(payload)+s.overhead)
 }
 
 func (s *Socket) deliver(d Datagram) {

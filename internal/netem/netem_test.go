@@ -84,8 +84,11 @@ func TestLossDropsDatagrams(t *testing.T) {
 	if got < 400 || got > 600 {
 		t.Errorf("delivered %d of %d with 50%% loss, want ~500", got, total)
 	}
-	if n.Dropped+n.Delivered != total {
-		t.Errorf("dropped %d + delivered %d != %d", n.Dropped, n.Delivered, total)
+	if n.Dropped()+n.Delivered != total {
+		t.Errorf("dropped %d + delivered %d != %d", n.Dropped(), n.Delivered, total)
+	}
+	if n.Drops.Loss != n.Dropped() {
+		t.Errorf("Drops.Loss = %d, want all %d drops attributed to loss", n.Drops.Loss, n.Dropped())
 	}
 }
 
@@ -104,6 +107,9 @@ func TestMTUDrop(t *testing.T) {
 	if srv.RxDatagrams != 1 {
 		t.Errorf("RxDatagrams = %d, want 1 (oversized dropped)", srv.RxDatagrams)
 	}
+	if n.Drops.MTU != 1 {
+		t.Errorf("Drops.MTU = %d, want 1", n.Drops.MTU)
+	}
 }
 
 func TestUnboundPortDrops(t *testing.T) {
@@ -117,8 +123,11 @@ func TestUnboundPortDrops(t *testing.T) {
 		c.Send(netip.AddrPortFrom(addr("10.0.0.3"), 9), []byte("y")) // unknown host
 	})
 	w.Run()
-	if n.Dropped != 2 {
-		t.Errorf("Dropped = %d, want 2", n.Dropped)
+	if n.Drops.NoRoute != 2 {
+		t.Errorf("Drops.NoRoute = %d, want 2", n.Drops.NoRoute)
+	}
+	if n.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", n.Dropped())
 	}
 }
 

@@ -55,9 +55,17 @@ func (c *Config) versions() []uint32 {
 // Loss recovery constants (RFC 9002 flavoured). The initial PTO of one
 // second is the "transport layer retransmission with initial timeouts of
 // 1 second" the paper contrasts with DoUDP's 5-second stub retry.
+//
+// Unlike TCP's RFC 6298 RTO (which common stacks floor at 200ms —
+// tcpsim.minRTO), RFC 9002 imposes no minimum on the PTO beyond timer
+// granularity (kGranularity, 1ms): once an RTT sample exists the probe
+// timeout tracks 2*srtt directly. This is one of the structural reasons
+// DoQ recovers from loss bursts faster than the TCP-based transports on
+// short-RTT paths (E20): a nearby resolver's lost datagram is probed
+// after tens of milliseconds, where TCP still waits out its floor.
 const (
 	initialPTO = 1 * time.Second
-	minPTO     = 200 * time.Millisecond
+	minPTO     = 10 * time.Millisecond
 	maxPTO     = 60 * time.Second
 	maxPTOs    = 8
 )
@@ -142,7 +150,13 @@ type Conn struct {
 	ptoTimer *sim.Timer
 	pto      time.Duration
 	ptoCount int
-	srtt     time.Duration
+	// ampPTOs counts probe timeouts fired while amplification-blocked.
+	// Those don't burn the regular PTO budget (the server is waiting,
+	// not losing packets), but they need their own cap: without one an
+	// amplification-starved server whose client has given up re-arms
+	// its probe timer forever, and the simulation never quiesces.
+	ampPTOs int
+	srtt    time.Duration
 
 	dialResult *sim.Future[error]
 	vnVersions []uint32 // set when a Version Negotiation arrived
@@ -885,9 +899,18 @@ func (c *Conn) onPTO() {
 		fmt.Printf("PTO at %v client=%v count=%d pto=%v\n", c.w.Now(), c.isClient, c.ptoCount, c.pto)
 	}
 	ampBlocked := !c.isClient && !c.validated && len(c.ampQueue) > 0
-	if !ampBlocked {
+	if ampBlocked {
 		// An amplification-limited server is waiting for client bytes,
-		// not experiencing loss; its PTO budget must not burn down.
+		// not experiencing loss; its PTO budget must not burn down. It
+		// still gives up eventually (the client may be gone for good —
+		// under burst loss, routinely), or the armed timer would keep
+		// the simulation alive forever.
+		c.ampPTOs++
+		if c.ampPTOs > maxPTOs {
+			c.teardown(errors.New("quic: amplification-blocked with silent peer, giving up"))
+			return
+		}
+	} else {
 		c.ptoCount++
 	}
 	if c.ptoCount > maxPTOs {

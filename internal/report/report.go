@@ -21,15 +21,22 @@ type Table struct {
 // Add appends a row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may be wider than
+// the header; extra columns get their own widths.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	ncol := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncol {
+			ncol = len(row)
+		}
+	}
+	widths := make([]int, ncol)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -32,6 +32,24 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+// TestTableRowWiderThanHeader is the regression test for the render
+// panic: the width pass guarded i < len(widths) but the render pass
+// indexed widths[i] unguarded, so any row with more cells than the
+// header crashed String.
+func TestTableRowWiderThanHeader(t *testing.T) {
+	tab := &Table{
+		Header: []string{"col", "value"},
+	}
+	tab.Add("a", "1", "extra", "cells")
+	tab.Add("b", "2")
+	out := tab.String()
+	for _, want := range []string{"col", "extra", "cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCDFSummaryContainsThresholds(t *testing.T) {
 	c := stats.NewCDF([]float64{-0.1, 0, 0.1, 0.2, 0.5})
 	out := CDFSummary("DoQ", c, []float64{0, 0.2}, -0.2, 0.8)

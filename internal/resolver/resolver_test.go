@@ -9,6 +9,7 @@ import (
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
+	"repro/internal/netem"
 	"repro/internal/quic"
 )
 
@@ -182,6 +183,72 @@ func TestNoLossSentinel(t *testing.T) {
 		for _, res := range u.Resolvers {
 			if l := u.Net.Path(vp.Host.Addr(), res.Addr).Loss; l != 0 {
 				t.Fatalf("path %s->%s has loss %v under NoLoss", vp.Name, res.Name, l)
+			}
+		}
+	}
+}
+
+// TestAccessProfileThreading checks the blueprint carries the named
+// access profile onto every vantage host, defaults to fiber, and
+// rejects unknown names; and that PathPhases install a schedule on
+// every vantage-resolver path.
+func TestAccessProfileThreading(t *testing.T) {
+	counts := map[geo.Continent]int{geo.EU: 2, geo.NA: 1}
+	bp, err := NewBlueprint(UniverseConfig{Seed: 5, ResolverCounts: counts, Access: "3g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Access.Name != "3g" {
+		t.Fatalf("blueprint access = %q, want 3g", bp.Access.Name)
+	}
+	u, err := bp.Instantiate(5, Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vp := range u.Vantages {
+		prof, ok := u.Net.AccessLink(vp.Host.Addr())
+		if !ok || prof.Name != "3g" {
+			t.Fatalf("vantage %s access link = %+v, %v; want 3g", vp.Name, prof, ok)
+		}
+	}
+
+	def, err := NewBlueprint(UniverseConfig{Seed: 5, ResolverCounts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Access.Name != "fiber" {
+		t.Fatalf("default access = %q, want fiber", def.Access.Name)
+	}
+	if _, err := NewBlueprint(UniverseConfig{Seed: 5, ResolverCounts: counts, Access: "dialup"}); err == nil {
+		t.Fatal("unknown access profile accepted")
+	}
+
+	phased, err := NewBlueprint(UniverseConfig{
+		Seed: 5, ResolverCounts: counts,
+		PathPhases: []PathPhase{
+			{At: 0, Loss: 0.003},
+			{At: time.Minute, Burst: netem.BurstLoss{PGoodBad: 0.1, PBadGood: 0.2, LossBad: 0.5}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := phased.Instantiate(5, Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vp := range up.Vantages {
+		for _, res := range up.Resolvers {
+			early := up.Net.PathAt(vp.Host.Addr(), res.Addr, 0)
+			late := up.Net.PathAt(res.Addr, vp.Host.Addr(), 90*time.Second)
+			if early.Burst.Enabled() {
+				t.Fatalf("phase 0 has burst loss enabled: %+v", early.Burst)
+			}
+			if !late.Burst.Enabled() || late.Loss != 0 {
+				t.Fatalf("phase 1 not in effect at 90s: %+v", late)
+			}
+			if late.Delay != early.Delay {
+				t.Fatalf("schedule changed path delay: %v vs %v", late.Delay, early.Delay)
 			}
 		}
 	}

@@ -50,11 +50,32 @@ type UniverseConfig struct {
 	Loss float64
 	// Jitter is the per-path delay jitter bound (default 1ms).
 	Jitter time.Duration
+	// Access names the netem access profile every vantage's host sits
+	// behind ("fiber" when empty — the paper's EC2 datacenter uplinks).
+	// The E19–E21 grids rebuild the same population with each profile.
+	Access string
+	// PathPhases, when non-empty, installs a time-varying schedule on
+	// every vantage<->resolver path: from each phase's At (virtual time)
+	// the path's loss model is replaced by the phase's Loss/Burst, while
+	// delay and jitter stay as configured. Phases express mid-campaign
+	// degradation and recovery (E20's burst-loss windows).
+	PathPhases []PathPhase
 	// Population tunes profile synthesis.
 	Population PopulationParams
 	// MutateProfile lets ablations rewrite each profile before start
 	// (e.g. enable 0-RTT everywhere for E11).
 	MutateProfile func(*Profile)
+}
+
+// PathPhase is one phase of a universe-wide path schedule. Unlike
+// UniverseConfig.Loss, a phase's Loss is literal: 0 means lossless.
+type PathPhase struct {
+	// At is the virtual time the phase takes effect.
+	At time.Duration
+	// Loss is the independent per-datagram drop probability.
+	Loss float64
+	// Burst is the Gilbert–Elliott burst-loss model.
+	Burst netem.BurstLoss
 }
 
 // ScaledCounts returns the paper's continent distribution scaled to
@@ -85,6 +106,11 @@ type Blueprint struct {
 	Jitter   time.Duration
 	Vantages []geo.VantagePoint
 	Profiles []Profile
+	// Access is the netem access profile attached to every vantage host.
+	Access netem.AccessProfile
+	// Phases is the time-varying loss schedule applied to every
+	// vantage<->resolver path (empty: static paths).
+	Phases []PathPhase
 }
 
 // NoLoss is the UniverseConfig.Loss sentinel for a truly lossless
@@ -108,11 +134,20 @@ func NewBlueprint(cfg UniverseConfig) (*Blueprint, error) {
 	if cfg.Population == (PopulationParams{}) {
 		cfg.Population = DefaultPopulation()
 	}
+	if cfg.Access == "" {
+		cfg.Access = "fiber"
+	}
+	access, err := netem.ProfileByName(cfg.Access)
+	if err != nil {
+		return nil, err
+	}
 	b := &Blueprint{
 		Seed:     cfg.Seed,
 		Loss:     cfg.Loss,
 		Jitter:   cfg.Jitter,
 		Vantages: geo.VantagePoints(),
+		Access:   access,
+		Phases:   append([]PathPhase(nil), cfg.PathPhases...),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	places := geo.PlaceResolvers(rng, cfg.ResolverCounts)
@@ -165,6 +200,10 @@ func (b *Blueprint) Instantiate(seed int64, sc Scope) (*Universe, error) {
 		host := net.Host(addr)
 		// Loopback for the local DNS proxy.
 		net.SetPath(addr, addr, netem.PathParams{Delay: 50 * time.Microsecond})
+		// The vantage's access network: every datagram it exchanges with
+		// a resolver — and every analytic content download the browser
+		// performs — traverses this link.
+		net.SetAccessLink(addr, b.Access)
 		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: b.Vantages[i], Host: host, Index: i})
 	}
 
@@ -183,11 +222,22 @@ func (b *Blueprint) Instantiate(seed int64, sc Scope) (*Universe, error) {
 		u.Resolvers = append(u.Resolvers, res)
 		for _, v := range u.Vantages {
 			delay := geo.OneWayDelay(v.Coord, prof.Place.Coord)
-			u.Net.SetSymmetricPath(v.Host.Addr(), prof.Addr, netem.PathParams{
+			base := netem.PathParams{
 				Delay:  delay,
 				Jitter: b.Jitter,
 				Loss:   b.Loss,
-			})
+			}
+			u.Net.SetSymmetricPath(v.Host.Addr(), prof.Addr, base)
+			if len(b.Phases) > 0 {
+				steps := make([]netem.PathStep, len(b.Phases))
+				for pi, ph := range b.Phases {
+					params := base
+					params.Loss = ph.Loss
+					params.Burst = ph.Burst
+					steps[pi] = netem.PathStep{At: ph.At, Params: params}
+				}
+				u.Net.SetSymmetricPathSchedule(v.Host.Addr(), prof.Addr, steps)
+			}
 		}
 	}
 	return u, nil
