@@ -1,0 +1,32 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: build test race bench bench-smoke determinism
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench records a benchmark-trajectory point (ns/op, B/op, allocs/op,
+# parallel speedup) to BENCH_PR5.json. Takes a few minutes: every
+# experiment benchmark reruns its campaign 3 times.
+bench:
+	go run ./cmd/bench -count 3 -out BENCH_PR5.json
+
+# bench-smoke compiles and runs every benchmark for one iteration, so
+# benchmarks cannot bit-rot.
+bench-smoke:
+	go test -run XXX -bench . -benchtime 1x ./...
+
+# determinism diffs representative experiments at -parallel 1 vs 8.
+determinism:
+	@for id in E4 E13 E16 E19 E20; do \
+		go run ./cmd/experiments -id $$id -parallel 1 > /tmp/$$id-p1.txt; \
+		go run ./cmd/experiments -id $$id -parallel 8 > /tmp/$$id-p8.txt; \
+		diff -u /tmp/$$id-p1.txt /tmp/$$id-p8.txt || exit 1; \
+		echo "$$id deterministic"; \
+	done

@@ -71,6 +71,12 @@ type Proxy struct {
 	primary   dox.Client
 	ephemeral []dox.Client
 
+	// fwdFn is the per-query task body, bound once; dgFree recycles the
+	// datagram boxes it is handed, so spawning a forward task allocates
+	// neither a closure nor a carrier (sim.GoCall + free list).
+	fwdFn  func(any)
+	dgFree []*netem.Datagram
+
 	// Counters for the evaluation.
 	Queries          int
 	ExtraConnections int // DoT-bug connections that repeated the handshake
@@ -101,6 +107,13 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 	if cfg.StubCache {
 		p.stub = cache.New(p.w.Now, cfg.StubCacheCapacity)
 	}
+	p.fwdFn = func(a any) {
+		dg := a.(*netem.Datagram)
+		d := *dg
+		*dg = netem.Datagram{}
+		p.dgFree = append(p.dgFree, dg)
+		p.forward(d)
+	}
 	p.w.Go(p.serve)
 	return p, nil
 }
@@ -114,7 +127,16 @@ func (p *Proxy) serve() {
 		if !ok {
 			return
 		}
-		p.w.Go(func() { p.forward(d) })
+		var dg *netem.Datagram
+		if n := len(p.dgFree); n > 0 {
+			dg = p.dgFree[n-1]
+			p.dgFree[n-1] = nil
+			p.dgFree = p.dgFree[:n-1]
+		} else {
+			dg = new(netem.Datagram)
+		}
+		*dg = d
+		p.w.GoCall(p.fwdFn, dg)
 	}
 }
 

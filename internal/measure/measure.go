@@ -180,6 +180,10 @@ func runSharded[T any](bp *resolver.Blueprint, seed int64, parallelism, resolver
 		var out []T
 		u.W.Go(func() { out = body(u, u.Vantages[0]) })
 		u.W.Run()
+		// The shard's World is dropped here; reap its parked goroutines
+		// (resolver/server tasks blocked forever) so long campaigns don't
+		// accumulate dead stacks for the GC to scan.
+		u.W.Shutdown()
 		return out, nil
 	})
 	if err != nil {

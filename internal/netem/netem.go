@@ -138,6 +138,13 @@ type Network struct {
 	access      map[netip.Addr]*accessLink
 	rng         *rand.Rand
 
+	// In-flight datagram pool and the two timer callbacks bound once at
+	// construction: a datagram's delivery timers then allocate neither a
+	// closure nor a per-datagram carrier (sim.AfterCall + free list).
+	flFree    *inflight
+	arriveFn  func(any)
+	deliverFn func(any)
+
 	// Delivered counts delivered datagrams; Drops counts dropped ones by
 	// cause (see Drops).
 	Delivered int
@@ -185,7 +192,7 @@ type accessLink struct {
 // NewNetwork creates an empty network on w. The default path (used when
 // no explicit path is configured) has 10ms delay and no loss.
 func NewNetwork(w *sim.World) *Network {
-	return &Network{
+	n := &Network{
 		World:       w,
 		hosts:       make(map[netip.Addr]*Host),
 		defaultPath: PathParams{Delay: 10 * time.Millisecond},
@@ -195,6 +202,35 @@ func NewNetwork(w *sim.World) *Network {
 		access:      make(map[netip.Addr]*accessLink),
 		rng:         rand.New(rand.NewSource(w.Rand().Int63())),
 	}
+	n.arriveFn = func(a any) { n.arrive(a.(*inflight)) }
+	n.deliverFn = func(a any) { n.deliverInflight(a.(*inflight)) }
+	return n
+}
+
+// inflight carries a datagram between its send-time processing and its
+// delivery timer(s). Pooled per Network: Worlds run one task at a time,
+// so the free list needs no lock.
+type inflight struct {
+	d        Datagram
+	wire     int
+	loopback bool
+	next     *inflight
+}
+
+func (n *Network) getInflight() *inflight {
+	fl := n.flFree
+	if fl != nil {
+		n.flFree = fl.next
+		fl.next = nil
+		return fl
+	}
+	return &inflight{}
+}
+
+func (n *Network) putInflight(fl *inflight) {
+	fl.d = Datagram{} // drop the payload reference
+	fl.next = n.flFree
+	n.flFree = fl
 }
 
 // Dropped returns the total dropped-datagram count across all causes.
@@ -489,25 +525,37 @@ func (n *Network) send(d Datagram, wire int) {
 		at += time.Duration(n.rng.Int63n(int64(p.Jitter)))
 	}
 
-	n.World.AfterFunc(at-now, func() {
-		// Downlink leg of the receiver's access network, serialized at
-		// actual arrival time.
-		if al := n.access[dst]; al != nil && !loopback {
-			arrive := n.World.Now()
-			if !n.lossPass(&al.down, al.prof.Loss, al.prof.Burst) {
-				n.Drops.Loss++
-				return
-			}
-			depart, ok := n.serialize(&al.down, al.prof.Down, al.prof.QueueBytes, wire, arrive)
-			if !ok {
-				n.Drops.Overflow++
-				return
-			}
-			n.World.AfterFunc(depart+al.prof.ExtraDelay-arrive, func() { n.deliver(d) })
+	fl := n.getInflight()
+	fl.d, fl.wire, fl.loopback = d, wire, loopback
+	n.World.AfterCall(at-now, n.arriveFn, fl)
+}
+
+// arrive processes the downlink leg of the receiver's access network,
+// serialized at actual arrival time, then delivers.
+func (n *Network) arrive(fl *inflight) {
+	if al := n.access[fl.d.Dst.Addr()]; al != nil && !fl.loopback {
+		arrive := n.World.Now()
+		if !n.lossPass(&al.down, al.prof.Loss, al.prof.Burst) {
+			n.Drops.Loss++
+			n.putInflight(fl)
 			return
 		}
-		n.deliver(d)
-	})
+		depart, ok := n.serialize(&al.down, al.prof.Down, al.prof.QueueBytes, fl.wire, arrive)
+		if !ok {
+			n.Drops.Overflow++
+			n.putInflight(fl)
+			return
+		}
+		n.World.AfterCall(depart+al.prof.ExtraDelay-arrive, n.deliverFn, fl)
+		return
+	}
+	n.deliverInflight(fl)
+}
+
+func (n *Network) deliverInflight(fl *inflight) {
+	d := fl.d
+	n.putInflight(fl)
+	n.deliver(d)
 }
 
 // deliver hands a datagram to the destination socket, if any.

@@ -147,7 +147,8 @@ type Conn struct {
 	sentBytes  int
 	ampQueue   [][]byte
 
-	ptoTimer *sim.Timer
+	ptoTimer sim.Timer
+	ptoFn    func() // onPTO, bound once so re-arming allocates nothing
 	pto      time.Duration
 	ptoCount int
 	// ampPTOs counts probe timeouts fired while amplification-blocked.
@@ -159,6 +160,11 @@ type Conn struct {
 	srtt    time.Duration
 
 	dialResult *sim.Future[error]
+
+	// Packet-protection caches: amortize the HKDF expansions and AES key
+	// schedule across packets sealed/opened under the same secret.
+	sealer     tlsmini.AEADCache
+	opener     tlsmini.AEADCache
 	vnVersions []uint32 // set when a Version Negotiation arrived
 	vnHappened bool
 
@@ -205,6 +211,7 @@ func newConn(w *sim.World, sock *netem.Socket, owned bool, peer netip.AddrPort, 
 	for i := range c.spaces {
 		c.spaces[i] = newSpace()
 	}
+	c.ptoFn = c.onPTO
 	c.scid = make([]byte, cidLen)
 	cfg.Rand.Read(c.scid)
 	return c
@@ -303,10 +310,8 @@ func (c *Conn) teardown(err error) {
 	}
 	c.closed = true
 	c.closeErr = err
-	if c.ptoTimer != nil {
-		c.ptoTimer.Stop()
-		c.ptoTimer = nil
-	}
+	c.ptoTimer.Stop()
+	c.ptoTimer = sim.Timer{}
 	ids := make([]uint64, 0, len(c.streams))
 	for id := range c.streams {
 		ids = append(ids, id)
@@ -517,15 +522,13 @@ func (c *Conn) sealPacket(space int, frames []*frame, pad int) []byte {
 		// Keys not available (e.g. 0-RTT without early keys): drop.
 		return nil
 	}
-	key, iv := tlsmini.DeriveTrafficKeys(secret)
-
 	var token []byte
 	if ptype == ptInitial && c.isClient {
 		token = c.cfg.Token
 	}
 	sealedLen := len(plain) + tlsmini.AEADOverhead
 	hdr := headerFor(ptype, c.version, c.dcid, c.scid, token, pn, sealedLen)
-	sealed := tlsmini.Seal(key, iv, pn, plain, hdr)
+	sealed := c.sealer.Seal(secret, pn, plain, hdr)
 
 	// Record retransmittable content.
 	var keep []*frame
@@ -640,8 +643,7 @@ func (c *Conn) processPacket(p packet, sealed, aad []byte) bool {
 	if secret == nil {
 		return false
 	}
-	key, iv := tlsmini.DeriveTrafficKeys(secret)
-	plain, err := tlsmini.Open(key, iv, p.pn, sealed, aad)
+	plain, err := c.opener.Open(secret, p.pn, sealed, aad)
 	if err != nil {
 		return true // authentication failure: drop, do not buffer
 	}
@@ -866,10 +868,8 @@ func (c *Conn) flushAcks() {
 // --- Loss recovery ---
 
 func (c *Conn) armPTO() {
-	if c.ptoTimer != nil {
-		c.ptoTimer.Stop()
-		c.ptoTimer = nil
-	}
+	c.ptoTimer.Stop()
+	c.ptoTimer = sim.Timer{}
 	if c.closed {
 		return
 	}
@@ -888,7 +888,7 @@ func (c *Conn) armPTO() {
 	if !outstanding && c.hsComplete {
 		return
 	}
-	c.ptoTimer = c.w.AfterFunc(c.pto, c.onPTO)
+	c.ptoTimer = c.w.AfterFunc(c.pto, c.ptoFn)
 }
 
 func (c *Conn) onPTO() {

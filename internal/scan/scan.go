@@ -434,6 +434,9 @@ func RunFunnel(cfg FunnelConfig) (FunnelResult, error) {
 		var res FunnelResult
 		w.Go(func() { res = scanner.Run(&Population{Targets: targets, Spec: cfg.Spec}) })
 		w.Run()
+		// Per-shard World: reap parked target/server goroutines before
+		// dropping it, or they outlive the shard for the whole process.
+		w.Shutdown()
 		return res, nil
 	})
 	if err != nil {

@@ -1,0 +1,103 @@
+package sim
+
+// Kernel microbenchmarks. These isolate the scheduler's hot paths from
+// the protocol stacks: a task switch (BenchmarkPingPong), timer
+// arm/cancel churn (BenchmarkTimerChurn), and mass concurrent sleepers
+// (BenchmarkSleepStorm). All three must report 0 B/op and 0 allocs/op
+// in steady state — the zero-allocation guarantee is additionally
+// enforced by the TestXxxZeroAlloc tests in kernel_test.go.
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkPingPong measures one full task switch: two tasks alternating
+// via Sleep(0). Each b.N iteration is two parks, two direct handoffs,
+// and two pooled timer entries.
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(1)
+	for t := 0; t < 2; t++ {
+		w.Go(func() {
+			for i := 0; i < b.N; i++ {
+				w.Sleep(0)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run()
+	b.StopTimer()
+	w.Shutdown()
+}
+
+// BenchmarkTimerChurn measures AfterFunc+Stop cycles: the PTO/RTO
+// pattern of the transport simulators, where nearly every armed timer is
+// cancelled before it fires.
+func BenchmarkTimerChurn(b *testing.B) {
+	w := NewWorld(1)
+	fn := func() {}
+	w.Go(func() {
+		for i := 0; i < b.N; i++ {
+			tm := w.AfterFunc(time.Hour, fn)
+			tm.Stop()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run()
+	b.StopTimer()
+	w.Shutdown()
+}
+
+// BenchmarkSleepStorm measures the timer heap under load: 10k concurrent
+// sleepers with staggered periods. The storm is warmed up before the
+// timer starts (goroutine stacks, pools, and the heap are one-time
+// costs), so the reported allocs/op is the steady state: 0. Each b.N
+// iteration advances the storm by one 97µs window (~28k wakeups).
+func BenchmarkSleepStorm(b *testing.B) {
+	w := NewWorld(1)
+	const sleepers = 10000
+	for t := 0; t < sleepers; t++ {
+		d := time.Duration(t%97+1) * time.Microsecond
+		w.Go(func() {
+			for {
+				w.Sleep(d)
+			}
+		})
+	}
+	w.RunFor(time.Millisecond) // reach steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunFor(97 * time.Microsecond)
+	}
+	b.StopTimer()
+	w.Shutdown()
+}
+
+// BenchmarkQueuePingPong measures the producer/consumer path: one Push
+// waking one Pop per iteration.
+func BenchmarkQueuePingPong(b *testing.B) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "bench")
+	w.Go(func() {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			w.Yield()
+		}
+		q.Close()
+	})
+	w.Go(func() {
+		for {
+			if _, ok := q.Pop(); !ok {
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run()
+	b.StopTimer()
+	w.Shutdown()
+}

@@ -1,0 +1,305 @@
+package sim
+
+// Regression tests for the direct-handoff kernel's resource behavior:
+// bounded runq growth, stopped timers dropping their references, world
+// teardown reaping parked goroutines, and the zero-allocation guarantees
+// of the steady-state hot paths.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRunqCapacityBounded guards against the pre-ring regression where
+// runq was an append/reslice slice: a long campaign's queue capacity is
+// bounded by peak concurrent runnability, not cumulative wakeups.
+func TestRunqCapacityBounded(t *testing.T) {
+	w := NewWorld(1)
+	const tasks = 8
+	for i := 0; i < tasks; i++ {
+		w.Go(func() {
+			for j := 0; j < 10000; j++ {
+				w.Yield()
+			}
+		})
+	}
+	w.Run()
+	if c := w.runq.capacity(); c > 4*tasks {
+		t.Errorf("runq capacity grew to %d after 80k wakeups of %d tasks", c, tasks)
+	}
+}
+
+// TestQueueRingCapacityBounded is the same bound for Queue's item ring.
+func TestQueueRingCapacityBounded(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "bound")
+	w.Go(func() {
+		for i := 0; i < 100000; i++ {
+			q.Push(i)
+			if v, ok := q.Pop(); !ok || v != i {
+				t.Errorf("pop %d = (%d, %v)", i, v, ok)
+				return
+			}
+		}
+	})
+	w.Run()
+	if c := q.items.capacity(); c > 64 {
+		t.Errorf("queue ring capacity grew to %d under push/pop steady state", c)
+	}
+}
+
+// TestTimerStopReleasesReferences checks that Stop removes the entry
+// from the heap immediately and drops its callback reference, rather
+// than leaving a dead entry pinning the closure until its deadline pops.
+func TestTimerStopReleasesReferences(t *testing.T) {
+	w := NewWorld(1)
+	big := make([]byte, 1<<20)
+	tm := w.AfterFunc(time.Hour, func() { _ = big })
+	e := tm.e
+	if len(w.theap) != 1 {
+		t.Fatalf("heap size = %d, want 1", len(w.theap))
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on an armed timer")
+	}
+	if len(w.theap) != 0 {
+		t.Errorf("stopped entry still in heap (len %d)", len(w.theap))
+	}
+	if e.fn != nil || e.fnArg != nil || e.arg != nil || e.task != nil {
+		t.Error("stopped entry retains callback references")
+	}
+	if e.idx != -1 {
+		t.Errorf("stopped entry idx = %d, want -1", e.idx)
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+}
+
+// TestStoppedTimerDoesNotPinMemory is the end-to-end version: after
+// Stop, the callback's captured memory must be collectable even though
+// the (pooled) entry lives on. This was the PTO-heavy burst-loss leak:
+// every cancelled retransmission timer pinned its conn until the far
+// deadline drained from the heap.
+func TestStoppedTimerDoesNotPinMemory(t *testing.T) {
+	w := NewWorld(1)
+	freed := make(chan struct{})
+	func() {
+		big := new([1 << 20]byte)
+		runtime.SetFinalizer(big, func(*[1 << 20]byte) { close(freed) })
+		tm := w.AfterFunc(time.Hour, func() { _ = big })
+		tm.Stop()
+	}()
+	for i := 0; i < 20; i++ {
+		runtime.GC()
+		select {
+		case <-freed:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Error("stopped timer still pins its callback memory after GC")
+}
+
+// TestTimerHandleSurvivesEntryReuse checks the generation guard: a
+// handle to a fired timer must not cancel an unrelated timer that
+// recycled the same entry.
+func TestTimerHandleSurvivesEntryReuse(t *testing.T) {
+	w := NewWorld(1)
+	fired := 0
+	t1 := w.AfterFunc(time.Second, func() { fired++ })
+	w.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The next timer reuses t1's pooled entry.
+	t2 := w.AfterFunc(time.Second, func() { fired++ })
+	if t2.e != t1.e {
+		t.Fatalf("test setup: entry not reused")
+	}
+	if t1.Stop() {
+		t.Error("stale handle cancelled a recycled timer")
+	}
+	w.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (stale Stop must not cancel)", fired)
+	}
+	if !t2.e.w.killing && t2.Stop() {
+		t.Error("Stop after firing returned true")
+	}
+}
+
+// TestShutdownReapsParkedGoroutines: a world full of forever-blocked
+// tasks (servers, sleepers) must release all its goroutines on Shutdown.
+func TestShutdownReapsParkedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := NewWorld(1)
+	q := NewQueue[int](w, "dead")
+	cleanedUp := 0
+	for i := 0; i < 50; i++ {
+		w.Go(func() {
+			defer func() { cleanedUp++ }()
+			q.Pop() // blocks forever
+		})
+	}
+	for i := 0; i < 50; i++ {
+		w.Go(func() { w.Sleep(1000 * time.Hour) })
+	}
+	w.RunFor(time.Second)
+	w.Shutdown()
+	if cleanedUp != 50 {
+		t.Errorf("deferred cleanups ran %d times, want 50", cleanedUp)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after Shutdown", before, runtime.NumGoroutine())
+}
+
+// TestShutdownBlockingPrimitivesBailOut: primitives called from deferred
+// teardown code during Shutdown unwinding must return immediately.
+func TestShutdownBlockingPrimitivesBailOut(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "x")
+	other := NewQueue[int](w, "y")
+	ranDefer := false
+	w.Go(func() {
+		defer func() {
+			ranDefer = true
+			w.Sleep(time.Hour) // must not park
+			if _, ok := other.Pop(); ok {
+				t.Error("Pop during shutdown returned ok")
+			}
+			if _, ok := other.PopTimeout(time.Hour); ok {
+				t.Error("PopTimeout during shutdown returned ok")
+			}
+			g := NewWaitGroup(w)
+			g.Add(1)
+			g.Wait() // must not park
+		}()
+		q.Pop()
+	})
+	w.Run()
+	w.Shutdown()
+	if !ranDefer {
+		t.Error("deferred teardown did not run")
+	}
+}
+
+// TestGoCallAndAfterCall cover the closure-free spawn/timer variants.
+func TestGoCallAndAfterCall(t *testing.T) {
+	w := NewWorld(1)
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	w.GoCall(fn, 1)
+	w.AfterCall(time.Second, fn, 2)
+	tm := w.AfterCall(2*time.Second, fn, 3)
+	tm.Stop()
+	w.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got %v, want [1 2]", got)
+	}
+}
+
+// TestBlockedLabels: labels must be formatted lazily but still match the
+// eager originals.
+func TestBlockedLabels(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "reqs")
+	w.Go(func() { q.Pop() })
+	w.Go(func() { w.Sleep(5 * time.Second) })
+	w.Go(func() { q.PopTimeout(time.Hour) })
+	w.RunFor(time.Second)
+	want := map[string]bool{
+		"queue.Pop(reqs)":        true,
+		"sleep(5s)":              true,
+		"queue.PopTimeout(reqs)": true,
+	}
+	labels := w.Blocked()
+	if len(labels) != len(want) {
+		t.Fatalf("Blocked() = %v, want %d labels", labels, len(want))
+	}
+	for _, l := range labels {
+		if !want[l] {
+			t.Errorf("unexpected label %q", l)
+		}
+	}
+}
+
+// --- Zero-allocation guarantees (the tentpole's acceptance bars) ---
+
+// steadyWorld builds a world with two ping-pong tasks and returns it
+// warmed up: every pool (workers, timer entries, rings) is populated.
+func steadyWorld() *World {
+	w := NewWorld(1)
+	for i := 0; i < 2; i++ {
+		w.Go(func() {
+			for {
+				w.Sleep(time.Millisecond)
+			}
+		})
+	}
+	w.RunFor(100 * time.Millisecond) // warm up pools
+	return w
+}
+
+func TestPingPongZeroAlloc(t *testing.T) {
+	w := steadyWorld()
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunFor(100 * time.Millisecond) // ~200 sleep/wake events
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state scheduling allocated %v objects per 100ms slice, want 0", allocs)
+	}
+}
+
+func TestTimerChurnZeroAlloc(t *testing.T) {
+	w := NewWorld(1)
+	fn := func() {}
+	w.Go(func() {
+		for {
+			for i := 0; i < 100; i++ {
+				tm := w.AfterFunc(time.Hour, fn)
+				tm.Stop()
+			}
+			w.Sleep(time.Millisecond)
+		}
+	})
+	w.RunFor(10 * time.Millisecond)
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunFor(10 * time.Millisecond) // ~1000 arm/cancel cycles
+	})
+	if allocs != 0 {
+		t.Errorf("AfterFunc+Stop churn allocated %v objects, want 0", allocs)
+	}
+}
+
+func TestQueueSteadyStateZeroAlloc(t *testing.T) {
+	w := NewWorld(1)
+	q := NewQueue[int](w, "hot")
+	w.Go(func() {
+		for {
+			q.Push(1)
+			w.Sleep(time.Millisecond)
+		}
+	})
+	w.Go(func() {
+		for {
+			q.Pop()
+		}
+	})
+	w.RunFor(10 * time.Millisecond)
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunFor(10 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("queue push/pop steady state allocated %v objects, want 0", allocs)
+	}
+}

@@ -5,11 +5,13 @@ import "time"
 // Queue is an unbounded FIFO channel analogue that cooperates with the
 // virtual clock: Pop blocks the calling task on the kernel rather than on
 // the Go scheduler. Queues are the only way tasks should exchange data
-// when one side may need to wait.
+// when one side may need to wait. Items live in a reusable ring buffer
+// and waiting tasks park on their own persistent wake channels, so
+// steady-state push/pop traffic allocates nothing.
 type Queue[T any] struct {
 	w       *World
-	items   []T
-	waiters []chan struct{}
+	items   ring[T]
+	waiters []*task
 	closed  bool
 	name    string
 }
@@ -25,88 +27,85 @@ func (q *Queue[T]) Push(v T) {
 	if q.closed {
 		return
 	}
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.wakeOne()
 }
 
 func (q *Queue[T]) wakeOne() {
-	if len(q.waiters) > 0 {
-		ch := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.w.ready(ch)
+	if len(q.waiters) == 0 {
+		return
 	}
+	t := q.waiters[0]
+	q.dropWaiter(0)
+	q.w.ready(t)
+}
+
+// dropWaiter removes q.waiters[i], shifting in place so the backing
+// array keeps being reused.
+func (q *Queue[T]) dropWaiter(i int) {
+	last := len(q.waiters) - 1
+	copy(q.waiters[i:], q.waiters[i+1:])
+	q.waiters[last] = nil
+	q.waiters = q.waiters[:last]
 }
 
 // Len reports the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Pop removes and returns the oldest item, blocking until one is
 // available. ok is false if the queue was closed and drained.
 func (q *Queue[T]) Pop() (v T, ok bool) {
 	for {
-		if len(q.items) > 0 {
-			v = q.items[0]
-			q.items = q.items[1:]
+		if v, ok = q.items.pop(); ok {
 			return v, true
 		}
-		if q.closed {
+		if q.closed || q.w.killing {
 			return v, false
 		}
-		ch := make(chan struct{})
-		q.waiters = append(q.waiters, ch)
-		q.w.block(ch, "queue.Pop("+q.name+")")
+		t := q.w.cur
+		t.op, t.opName = opQueuePop, q.name
+		q.waiters = append(q.waiters, t)
+		q.w.park()
+		t.op = opNone
 	}
 }
 
 // TryPop removes and returns the oldest item without blocking.
-func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
-		return v, false
-	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
-}
+func (q *Queue[T]) TryPop() (v T, ok bool) { return q.items.pop() }
 
 // PopTimeout is Pop with a virtual-time deadline. ok is false on timeout
 // or close.
 func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool) {
-	if len(q.items) > 0 {
-		v = q.items[0]
-		q.items = q.items[1:]
+	if v, ok = q.items.pop(); ok {
 		return v, true
 	}
-	if q.closed {
+	if q.closed || q.w.killing {
 		return v, false
 	}
-	deadline := q.w.Now() + d
+	deadline := q.w.now + d
 	for {
-		ch := make(chan struct{})
-		q.waiters = append(q.waiters, ch)
-		timedOut := false
-		t := q.w.AfterFunc(deadline-q.w.Now(), func() {
-			timedOut = true
-			// Remove ch from waiters if still present, then wake it.
+		t := q.w.cur
+		t.op, t.opName = opQueuePopTimeout, q.name
+		q.waiters = append(q.waiters, t)
+		timedOut := q.w.parkTimeout(deadline)
+		t.op = opNone
+		if timedOut {
+			// The deadline woke us directly; leave the waiter list.
 			for i, c := range q.waiters {
-				if c == ch {
-					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
-					q.w.ready(ch)
-					return
+				if c == t {
+					q.dropWaiter(i)
+					break
 				}
 			}
-		})
-		q.w.block(ch, "queue.PopTimeout("+q.name+")")
-		t.Stop()
-		if len(q.items) > 0 {
-			v = q.items[0]
-			q.items = q.items[1:]
+		}
+		if v, ok = q.items.pop(); ok {
 			return v, true
 		}
 		if q.closed || timedOut {
 			return v, false
 		}
 		// Spurious wake (another popper beat us); retry until deadline.
-		if q.w.Now() >= deadline {
+		if q.w.now >= deadline {
 			return v, false
 		}
 	}
@@ -119,10 +118,11 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, ch := range q.waiters {
-		q.w.ready(ch)
+	for i, t := range q.waiters {
+		q.w.ready(t)
+		q.waiters[i] = nil
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
 }
 
 // Closed reports whether Close has been called.
@@ -156,7 +156,7 @@ func (f *Future[T]) Fail() { f.q.Close() }
 type WaitGroup struct {
 	w     *World
 	count int
-	done  []chan struct{}
+	done  []*task
 }
 
 // NewWaitGroup returns a WaitGroup bound to w.
@@ -169,18 +169,24 @@ func (g *WaitGroup) Add(n int) { g.count += n }
 func (g *WaitGroup) Done() {
 	g.count--
 	if g.count <= 0 {
-		for _, ch := range g.done {
-			g.w.ready(ch)
+		for i, t := range g.done {
+			g.w.ready(t)
+			g.done[i] = nil
 		}
-		g.done = nil
+		g.done = g.done[:0]
 	}
 }
 
 // Wait blocks until the counter reaches zero.
 func (g *WaitGroup) Wait() {
 	for g.count > 0 {
-		ch := make(chan struct{})
-		g.done = append(g.done, ch)
-		g.w.block(ch, "waitgroup")
+		if g.w.killing {
+			return
+		}
+		t := g.w.cur
+		t.op = opWaitGroup
+		g.done = append(g.done, t)
+		g.w.park()
+		t.op = opNone
 	}
 }

@@ -1,0 +1,51 @@
+package sim
+
+// ring is a reusable FIFO ring buffer. Unlike the append/reslice idiom
+// (q = append(q, v); v, q = q[0], q[1:]), a drained ring keeps — and
+// reuses — its backing array, so steady-state push/pop cycles allocate
+// nothing and capacity is bounded by the high-water mark of *concurrent*
+// occupancy, not by cumulative throughput. Popped slots are zeroed so
+// the ring never pins items it no longer holds.
+type ring[T any] struct {
+	buf  []T // power-of-two length
+	head int
+	n    int
+}
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	i := r.head & (len(r.buf) - 1)
+	v = r.buf[i]
+	var zero T
+	r.buf[i] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v, true
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// capacity reports the backing-array size, for growth-bound tests.
+func (r *ring[T]) capacity() int { return len(r.buf) }
+
+func (r *ring[T]) grow() {
+	nc := len(r.buf) * 2
+	if nc == 0 {
+		nc = 8
+	}
+	nb := make([]T, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}

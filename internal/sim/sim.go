@@ -12,329 +12,408 @@
 // additional locking, and event ordering is deterministic (FIFO among
 // runnable tasks, then earliest-deadline-first among timers, ties broken
 // by creation order).
+//
+// # Scheduling
+//
+// The scheduler is a direct-handoff design: when the running task blocks
+// or finishes, it selects the next runnable task (or fires the next due
+// timer) and wakes it directly over that task's persistent wake channel,
+// without a round trip through the host goroutine. The host goroutine
+// that called Run participates only twice per run — once to start the
+// first task and once to be told the world is quiescent — so a task
+// switch costs one channel handoff instead of two.
+//
+// The kernel allocates nothing on its steady-state hot paths: tasks are
+// pooled worker goroutines with reusable wake channels, timer entries
+// come from a free list and live in an index-tracked 4-ary heap, and the
+// run queue is a reusable ring buffer. See DESIGN.md ("Scheduler
+// internals") for the full model and the determinism argument.
+//
+// World methods must be called either from tasks (which run one at a
+// time) or from the host goroutine while no Run/RunFor is in progress;
+// calling them from the host while the world is running is a data race.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sync"
+	"runtime"
 	"time"
 )
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// blockOp records why a task is parked, for lazy deadlock labels: the
+// label string is only built if Blocked() is called, never on the block
+// path itself.
+type blockOp uint8
+
+const (
+	opNone blockOp = iota
+	opSleep
+	opQueuePop
+	opQueuePopTimeout
+	opWaitGroup
+)
+
+// task is one schedulable context: a pooled worker goroutine with a
+// persistent one-slot wake channel. A token sent on wake hands the CPU
+// to the task; the sender must have set w.cur first. Idle workers park
+// on the same channel waiting for their next body.
+type task struct {
+	wake chan struct{}
+
+	// Pending body, set while the task sits on the runq (or is being
+	// handed a fired AfterFunc callback). Exactly one of fn and fnArg
+	// is set.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
+	// Block diagnostics, valid while parked (op != opNone).
+	op     blockOp
+	opName string
+	opDur  time.Duration
+
+	// Timeout parking (Queue.PopTimeout): the pending deadline entry,
+	// and whether the last wake came from it rather than from ready.
+	timeout  *timerEntry
+	timedOut bool
+
+	// Live-task registry (intrusive doubly-linked list) for Blocked
+	// and Shutdown.
+	prev, next *task
+	idle       bool // parked in the worker pool, not in user code
+}
 
 // World is a virtual-time event kernel. Create one with NewWorld, spawn
 // the initial task(s) with Go, then call Run from the host goroutine.
 type World struct {
-	mu   sync.Mutex
-	cond *sync.Cond // signaled whenever active drops to zero
+	now      time.Duration
+	deadline time.Duration // RunFor bound; maxDuration under Run
+	seq      uint64        // timer-entry creation order, for tie-breaks
 
-	now    time.Duration
-	seq    uint64
-	timers timerHeap
-	runq   []chan struct{} // tasks ready to run, FIFO
-
-	active int // 1 while a task or timer callback is executing
-	tasks  int // live tasks (running or blocked)
+	theap    []*timerEntry // 4-ary min-heap keyed (at, seq), index-tracked
+	freeEnt  *timerEntry   // free list of recycled entries
+	runq     ring[*task]   // tasks ready to run, FIFO
+	idle     []*task       // worker pool (LIFO, so hot workers rerun)
+	cur      *task         // the task currently executing
+	liveHead *task         // all live workers, for Blocked/Shutdown
+	hostWake chan struct{} // quiescence signal to the host goroutine
 
 	rng     *rand.Rand
-	stopped bool
-	label   map[chan struct{}]string // debug labels for blocked tasks
+	killing bool // Shutdown in progress: blocking primitives bail out
 }
 
 // NewWorld returns a World whose random source is seeded with seed.
 func NewWorld(seed int64) *World {
-	w := &World{
-		rng:   rand.New(rand.NewSource(seed)),
-		label: make(map[chan struct{}]string),
+	return &World{
+		rng:      rand.New(rand.NewSource(seed)),
+		deadline: maxDuration,
+		hostWake: make(chan struct{}, 1),
 	}
-	w.cond = sync.NewCond(&w.mu)
-	return w
 }
 
 // Now returns the current virtual time, measured from the World's epoch.
-func (w *World) Now() time.Duration {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.now
-}
+// It must be called from a task or while the world is idle.
+func (w *World) Now() time.Duration { return w.now }
 
 // Rand returns the World's deterministic random source. It must only be
 // used from tasks (which run one at a time), never from the host goroutine
 // while Run is in progress.
 func (w *World) Rand() *rand.Rand { return w.rng }
 
+// --- Worker pool ---
+
+func (w *World) addLive(t *task) {
+	t.next = w.liveHead
+	if w.liveHead != nil {
+		w.liveHead.prev = t
+	}
+	w.liveHead = t
+}
+
+func (w *World) removeLive(t *task) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		w.liveHead = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.prev, t.next = nil, nil
+}
+
+// getWorker returns an idle worker, spawning a new goroutine only when
+// the pool is empty. Steady-state task churn therefore reuses both the
+// task struct and its goroutine.
+func (w *World) getWorker() *task {
+	if n := len(w.idle); n > 0 {
+		t := w.idle[n-1]
+		w.idle[n-1] = nil
+		w.idle = w.idle[:n-1]
+		t.idle = false
+		return t
+	}
+	t := &task{wake: make(chan struct{}, 1)}
+	w.addLive(t)
+	go w.workerLoop(t)
+	return t
+}
+
+func (w *World) workerLoop(t *task) {
+	defer w.workerExit(t) // reached only via Shutdown (return or Goexit)
+	for {
+		<-t.wake
+		if w.killing {
+			return
+		}
+		if fn := t.fn; fn != nil {
+			t.fn = nil
+			fn()
+		} else {
+			fn, arg := t.fnArg, t.arg
+			t.fnArg, t.arg = nil, nil
+			fn(arg)
+		}
+		t.idle = true
+		w.idle = append(w.idle, t)
+		w.handoff()
+	}
+}
+
+func (w *World) workerExit(t *task) {
+	w.removeLive(t)
+	w.hostWake <- struct{}{}
+}
+
 // Go spawns fn as a new task. It may be called from the host goroutine
-// before Run, or from any running task.
+// before Run, or from any running task. The task starts in FIFO order
+// behind already-runnable tasks.
 func (w *World) Go(fn func()) {
-	w.mu.Lock()
-	w.tasks++
-	ch := make(chan struct{})
-	w.runq = append(w.runq, ch)
-	w.mu.Unlock()
-	go func() {
-		<-ch // wait to be scheduled
-		defer w.taskExit()
-		fn()
-	}()
+	t := w.getWorker()
+	t.fn = fn
+	w.runq.push(t)
 }
 
-func (w *World) taskExit() {
-	w.mu.Lock()
-	w.tasks--
-	w.active--
-	w.cond.Signal()
-	w.mu.Unlock()
+// GoCall is Go for a pre-bound callback: it spawns fn(arg) as a new task
+// without forcing the caller to allocate a fresh closure per spawn. fn is
+// typically a long-lived adapter and arg a pooled object.
+func (w *World) GoCall(fn func(any), arg any) {
+	t := w.getWorker()
+	t.fnArg, t.arg = fn, arg
+	w.runq.push(t)
 }
 
-// block parks the calling task until ch is closed (or receives). The
-// caller must have registered ch somewhere a waker can find it. label is
-// used in deadlock reports.
-func (w *World) block(ch chan struct{}, label string) {
-	w.mu.Lock()
-	w.label[ch] = label
-	w.active--
-	w.cond.Signal()
-	w.mu.Unlock()
-	<-ch
-	w.mu.Lock()
-	delete(w.label, ch)
-	w.mu.Unlock()
+// --- Scheduling core ---
+
+// dispatch hands the CPU to the next work item: the oldest runnable
+// task, else the earliest pending timer (advancing the clock). It
+// returns false when the world is quiescent or the next timer lies
+// beyond the RunFor deadline (in which case the clock is capped at the
+// deadline). After a successful dispatch the caller must not touch
+// kernel state: the woken task owns it.
+func (w *World) dispatch() bool {
+	if t, ok := w.runq.pop(); ok {
+		w.cur = t
+		t.wake <- struct{}{}
+		return true
+	}
+	if len(w.theap) == 0 {
+		return false
+	}
+	e := w.theap[0]
+	if e.at > w.deadline {
+		w.now = w.deadline
+		return false
+	}
+	w.heapRemove(e)
+	if e.at > w.now {
+		w.now = e.at
+	}
+	var t *task
+	if e.task != nil {
+		t = e.task
+		if t.timeout == e {
+			t.timeout = nil
+			t.timedOut = true
+		}
+	} else {
+		t = w.getWorker()
+		t.fn, t.fnArg, t.arg = e.fn, e.fnArg, e.arg
+	}
+	w.putEntry(e)
+	w.cur = t
+	t.wake <- struct{}{}
+	return true
 }
 
-// ready marks ch runnable. Safe to call from a running task or a timer
+// handoff cedes the CPU: dispatch the next item, or tell the host the
+// world is quiescent.
+func (w *World) handoff() {
+	if !w.dispatch() {
+		w.hostWake <- struct{}{}
+	}
+}
+
+// park blocks the current task until woken. The caller must have
+// arranged a wake: a timer entry bound to the task, or membership in a
+// waiter list whose owner will call ready.
+func (w *World) park() {
+	t := w.cur
+	w.handoff()
+	<-t.wake
+	if w.killing {
+		runtime.Goexit() // Shutdown: unwind (running defers) and exit
+	}
+}
+
+// ready marks t runnable. Safe to call from a running task or a timer
 // callback; the kernel hands execution over once the current task blocks.
-func (w *World) ready(ch chan struct{}) {
-	w.mu.Lock()
-	w.runq = append(w.runq, ch)
-	w.mu.Unlock()
+func (w *World) ready(t *task) {
+	if w.killing {
+		return
+	}
+	w.runq.push(t)
+}
+
+// parkTimeout parks the current task until readied or until the absolute
+// virtual-time deadline, whichever first. It reports whether the wake
+// was the deadline. The deadline timer is recycled on either path.
+func (w *World) parkTimeout(deadline time.Duration) bool {
+	t := w.cur
+	e := w.newEntry(deadline)
+	e.task = t
+	t.timeout = e
+	t.timedOut = false
+	w.heapPush(e)
+	w.park()
+	if t.timedOut {
+		t.timedOut = false
+		return true
+	}
+	if t.timeout != nil { // readied: cancel the pending deadline timer
+		w.heapRemove(t.timeout)
+		w.putEntry(t.timeout)
+		t.timeout = nil
+	}
+	return false
 }
 
 // Sleep blocks the calling task for d of virtual time. Non-positive
 // durations yield the processor to other runnable tasks at the same
 // instant.
 func (w *World) Sleep(d time.Duration) {
+	if w.killing {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
-	w.mu.Lock()
-	w.pushTimerLocked(w.now+d, timerWake, ch, nil)
-	w.mu.Unlock()
-	w.block(ch, fmt.Sprintf("sleep(%v)", d))
+	t := w.cur
+	e := w.newEntry(w.now + d)
+	e.task = t
+	w.heapPush(e)
+	t.op, t.opDur = opSleep, d
+	w.park()
+	t.op = opNone
 }
 
 // Yield lets other runnable tasks execute before continuing.
 func (w *World) Yield() { w.Sleep(0) }
 
-type timerKind uint8
-
-const (
-	timerWake timerKind = iota
-	timerFunc
-)
-
-// Timer is a cancellable scheduled callback created by AfterFunc.
-type Timer struct {
-	w       *World
-	at      time.Duration
-	seq     uint64
-	stopped bool
-	fired   bool
-}
-
-type timerEntry struct {
-	at   time.Duration
-	seq  uint64
-	kind timerKind
-	ch   chan struct{}
-	fn   func()
-	t    *Timer
-}
-
-func (w *World) pushTimerLocked(at time.Duration, kind timerKind, ch chan struct{}, fn func()) *Timer {
-	w.seq++
-	t := &Timer{w: w, at: at, seq: w.seq}
-	heap.Push(&w.timers, &timerEntry{at: at, seq: w.seq, kind: kind, ch: ch, fn: fn, t: t})
-	return t
-}
-
 // AfterFunc schedules fn to run at Now()+d on the kernel, as a pseudo-task
 // of its own. fn must not block forever; it may use World primitives.
-func (w *World) AfterFunc(d time.Duration, fn func()) *Timer {
+func (w *World) AfterFunc(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.pushTimerLocked(w.now+d, timerFunc, nil, fn)
+	e := w.newEntry(w.now + d)
+	e.fn = fn
+	w.heapPush(e)
+	return Timer{e: e, gen: e.gen}
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the
-// timer was prevented from firing.
-func (t *Timer) Stop() bool {
-	t.w.mu.Lock()
-	defer t.w.mu.Unlock()
-	if t.fired || t.stopped {
-		return false
+// AfterCall is AfterFunc for a pre-bound callback: it schedules fn(arg)
+// without forcing the caller to allocate a fresh closure per timer. fn is
+// typically a long-lived adapter and arg a pooled object.
+func (w *World) AfterCall(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
 	}
-	t.stopped = true
-	return true
+	e := w.newEntry(w.now + d)
+	e.fnArg, e.arg = fn, arg
+	w.heapPush(e)
+	return Timer{e: e, gen: e.gen}
 }
 
 // Run drives the simulation until quiescence: no runnable tasks and no
 // pending timers. Tasks blocked forever (e.g. servers waiting for
 // requests) do not prevent Run from returning. Run must be called from
 // the host goroutine, not from a task. It returns the final virtual time.
-func (w *World) Run() time.Duration {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for {
-		// Wait until the currently executing task blocks or exits.
-		for w.active > 0 {
-			w.cond.Wait()
-		}
-		if len(w.runq) > 0 {
-			ch := w.runq[0]
-			w.runq = w.runq[1:]
-			w.active++
-			close(ch)
-			continue
-		}
-		// No runnable task: advance time to the next timer.
-		fired := false
-		for w.timers.Len() > 0 {
-			e := heap.Pop(&w.timers).(*timerEntry)
-			if e.t != nil && e.t.stopped {
-				continue
-			}
-			if e.t != nil {
-				e.t.fired = true
-			}
-			if e.at > w.now {
-				w.now = e.at
-			}
-			switch e.kind {
-			case timerWake:
-				w.runq = append(w.runq, e.ch)
-			case timerFunc:
-				w.active++
-				fn := e.fn
-				w.mu.Unlock()
-				func() {
-					defer func() {
-						w.mu.Lock()
-						w.active--
-						w.cond.Signal()
-						w.mu.Unlock()
-					}()
-					fn()
-				}()
-				w.mu.Lock()
-			}
-			fired = true
-			break
-		}
-		if !fired && len(w.runq) == 0 {
-			return w.now
-		}
-	}
-}
+func (w *World) Run() time.Duration { return w.runScheduler(maxDuration) }
 
 // RunFor drives the simulation like Run but stops once virtual time would
 // exceed the deadline now+d; timers beyond the deadline are left pending.
 func (w *World) RunFor(d time.Duration) time.Duration {
-	w.mu.Lock()
-	deadline := w.now + d
-	w.mu.Unlock()
-	return w.runUntil(deadline)
+	return w.runScheduler(w.now + d)
 }
 
-func (w *World) runUntil(deadline time.Duration) time.Duration {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for {
-		for w.active > 0 {
-			w.cond.Wait()
-		}
-		if len(w.runq) > 0 {
-			ch := w.runq[0]
-			w.runq = w.runq[1:]
-			w.active++
-			close(ch)
-			continue
-		}
-		fired := false
-		for w.timers.Len() > 0 {
-			if w.timers[0].at > deadline {
-				w.now = deadline
-				return w.now
-			}
-			e := heap.Pop(&w.timers).(*timerEntry)
-			if e.t != nil && e.t.stopped {
-				continue
-			}
-			if e.t != nil {
-				e.t.fired = true
-			}
-			if e.at > w.now {
-				w.now = e.at
-			}
-			switch e.kind {
-			case timerWake:
-				w.runq = append(w.runq, e.ch)
-			case timerFunc:
-				w.active++
-				fn := e.fn
-				w.mu.Unlock()
-				func() {
-					defer func() {
-						w.mu.Lock()
-						w.active--
-						w.cond.Signal()
-						w.mu.Unlock()
-					}()
-					fn()
-				}()
-				w.mu.Lock()
-			}
-			fired = true
-			break
-		}
-		if !fired && len(w.runq) == 0 {
-			return w.now
-		}
+func (w *World) runScheduler(deadline time.Duration) time.Duration {
+	w.deadline = deadline
+	if w.dispatch() {
+		<-w.hostWake
 	}
+	return w.now
+}
+
+// Shutdown reaps every live task goroutine, including tasks blocked
+// forever and idle pooled workers. It must only be called from the host
+// goroutine after Run has returned, and the World must not be used
+// afterwards. Parked tasks unwind via runtime.Goexit, so their deferred
+// calls run; during the unwind all blocking primitives return
+// immediately (Pop reports a closed queue, Sleep is a no-op).
+//
+// Worlds that skip Shutdown keep their parked goroutines alive for the
+// life of the process — the Go runtime never collects a blocked
+// goroutine — which both leaks their stacks and adds them to every GC
+// mark phase. Campaign drivers that create a World per shard call this
+// as soon as the shard's Run returns.
+func (w *World) Shutdown() {
+	if w.killing {
+		return
+	}
+	w.killing = true
+	for w.liveHead != nil {
+		t := w.liveHead
+		w.cur = t
+		t.wake <- struct{}{}
+		<-w.hostWake // its workerExit confirms the goroutine is gone
+	}
+	w.theap = nil
+	w.freeEnt = nil
+	w.runq = ring[*task]{}
+	w.idle = nil
+	w.cur = nil
 }
 
 // Blocked returns debug labels of all currently blocked tasks. Intended
-// for tests and deadlock diagnostics.
+// for tests and deadlock diagnostics. Labels are formatted lazily here,
+// never on the block path.
 func (w *World) Blocked() []string {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]string, 0, len(w.label))
-	for _, l := range w.label {
-		out = append(out, l)
+	var out []string
+	for t := w.liveHead; t != nil; t = t.next {
+		switch t.op {
+		case opSleep:
+			out = append(out, fmt.Sprintf("sleep(%v)", t.opDur))
+		case opQueuePop:
+			out = append(out, "queue.Pop("+t.opName+")")
+		case opQueuePopTimeout:
+			out = append(out, "queue.PopTimeout("+t.opName+")")
+		case opWaitGroup:
+			out = append(out, "waitgroup")
+		}
 	}
 	return out
-}
-
-// timerHeap is a min-heap ordered by (at, seq).
-type timerHeap []*timerEntry
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timerEntry)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
 }

@@ -100,7 +100,8 @@ type Conn struct {
 	rcvNxt uint32
 
 	rtxq     []segment
-	rtxTimer *sim.Timer
+	rtxTimer sim.Timer
+	rtxFn    func() // onRtxTimeout, bound once so re-arming allocates nothing
 	rto      time.Duration
 	retries  int
 	srtt     time.Duration
@@ -129,16 +130,18 @@ func (c *Conn) LocalAddr() netip.AddrPort { return c.sock.LocalAddr() }
 func (c *Conn) RemoteAddr() netip.AddrPort { return c.peer }
 
 func newConn(w *sim.World, sock *netem.Socket, owned bool, peer netip.AddrPort) *Conn {
-	return &Conn{
+	c := &Conn{
 		w:      w,
 		sock:   sock,
 		owned:  owned,
 		peer:   peer,
 		rto:    initialRTO,
 		sentAt: make(map[uint32]time.Duration),
-		readQ:  sim.NewQueue[[]byte](w, fmt.Sprintf("tcp-read %v", peer)),
+		readQ:  sim.NewQueue[[]byte](w, "tcp-read"),
 		ooo:    make(map[uint32]segment),
 	}
+	c.rtxFn = c.onRtxTimeout
+	return c
 }
 
 // Dial establishes a connection from host to raddr. It blocks on the
@@ -352,17 +355,15 @@ func (c *Conn) Close() {
 }
 
 func (c *Conn) rearmRtx() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
+	c.rtxTimer = sim.Timer{}
 	if len(c.rtxq) == 0 {
 		if c.sentFIN {
 			c.teardown()
 		}
 		return
 	}
-	c.rtxTimer = c.w.AfterFunc(c.rto, c.onRtxTimeout)
+	c.rtxTimer = c.w.AfterFunc(c.rto, c.rtxFn)
 }
 
 func (c *Conn) onRtxTimeout() {
@@ -391,10 +392,8 @@ func (c *Conn) teardown() {
 		return
 	}
 	c.dead = true
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
+	c.rtxTimer = sim.Timer{}
 	c.readQ.Close()
 	if c.incoming != nil {
 		c.incoming.Close()

@@ -15,6 +15,7 @@
 package tlsmini
 
 import (
+	"bytes"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
@@ -24,32 +25,69 @@ import (
 
 const hashLen = sha256.Size
 
+var zeroHash [hashLen]byte
+
+// hmacShort computes HMAC-SHA256(key, p1||p2||p3) for the short inputs
+// of the HKDF key schedule entirely on the stack: the handshake derives
+// dozens of secrets per connection, and the streaming crypto/hmac
+// construction costs several heap allocations per call. Inputs that
+// exceed the stack buffer fall back to crypto/hmac; outputs are
+// identical either way.
+func hmacShort(key, p1, p2, p3 []byte) (out [hashLen]byte) {
+	total := len(p1) + len(p2) + len(p3)
+	if len(key) > 64 || total > 160 {
+		m := hmac.New(sha256.New, key)
+		m.Write(p1)
+		m.Write(p2)
+		m.Write(p3)
+		m.Sum(out[:0])
+		return out
+	}
+	var buf [224]byte // 64-byte padded key block + up to 160 bytes of message
+	for i := range key {
+		buf[i] = key[i] ^ 0x36
+	}
+	for i := len(key); i < 64; i++ {
+		buf[i] = 0x36
+	}
+	n := 64
+	n += copy(buf[n:], p1)
+	n += copy(buf[n:], p2)
+	n += copy(buf[n:], p3)
+	inner := sha256.Sum256(buf[:n])
+	for i := 0; i < 64; i++ {
+		buf[i] ^= 0x36 ^ 0x5c // ipad block -> opad block
+	}
+	copy(buf[64:], inner[:])
+	return sha256.Sum256(buf[:64+hashLen])
+}
+
 // hkdfExtract implements HKDF-Extract with SHA-256.
 func hkdfExtract(salt, ikm []byte) []byte {
 	if salt == nil {
-		salt = make([]byte, hashLen)
+		salt = zeroHash[:]
 	}
 	if ikm == nil {
-		ikm = make([]byte, hashLen)
+		ikm = zeroHash[:]
 	}
-	m := hmac.New(sha256.New, salt)
-	m.Write(ikm)
-	return m.Sum(nil)
+	s := hmacShort(salt, ikm, nil, nil)
+	out := make([]byte, hashLen)
+	copy(out, s[:])
+	return out
 }
 
 // hkdfExpand implements HKDF-Expand with SHA-256.
 func hkdfExpand(prk []byte, info string, length int) []byte {
-	var out []byte
-	var block []byte
-	counter := byte(1)
+	blocks := (length + hashLen - 1) / hashLen
+	out := make([]byte, 0, blocks*hashLen)
+	var block [hashLen]byte
+	var prev []byte
+	counter := [1]byte{1}
 	for len(out) < length {
-		m := hmac.New(sha256.New, prk)
-		m.Write(block)
-		m.Write([]byte(info))
-		m.Write([]byte{counter})
-		block = m.Sum(nil)
-		out = append(out, block...)
-		counter++
+		block = hmacShort(prk, prev, []byte(info), counter[:])
+		prev = block[:]
+		out = append(out, block[:]...)
+		counter[0]++
 	}
 	return out[:length]
 }
@@ -76,7 +114,8 @@ func aeadSeal(key, iv []byte, seq uint64, plaintext, aad []byte) []byte {
 	if err != nil {
 		panic(err)
 	}
-	return gcm.Seal(nil, nonceFor(iv, seq), plaintext, aad)
+	nonce := nonceFor(iv, seq)
+	return gcm.Seal(nil, nonce[:], plaintext, aad)
 }
 
 // aeadOpen decrypts a record sealed by aeadSeal.
@@ -89,12 +128,12 @@ func aeadOpen(key, iv []byte, seq uint64, ciphertext, aad []byte) ([]byte, error
 	if err != nil {
 		panic(err)
 	}
-	return gcm.Open(nil, nonceFor(iv, seq), ciphertext, aad)
+	nonce := nonceFor(iv, seq)
+	return gcm.Open(nil, nonce[:], ciphertext, aad)
 }
 
-func nonceFor(iv []byte, seq uint64) []byte {
-	nonce := make([]byte, 12)
-	copy(nonce, iv)
+func nonceFor(iv []byte, seq uint64) (nonce [12]byte) {
+	copy(nonce[:], iv)
 	var seqb [8]byte
 	binary.BigEndian.PutUint64(seqb[:], seq)
 	for i := 0; i < 8; i++ {
@@ -106,11 +145,56 @@ func nonceFor(iv []byte, seq uint64) []byte {
 // aeadOverhead is the GCM tag size added to every protected record.
 const aeadOverhead = 16
 
+// AEADCache memoizes the expanded AES-GCM state (and IV) for one traffic
+// secret, so per-record protection skips the two HKDF expansions and the
+// AES key schedule that aeadSeal/aeadOpen pay on every call. The cache
+// re-derives transparently whenever the secret changes (epoch bumps),
+// producing byte-identical records. The zero value is ready to use; a
+// cache belongs to a single connection and is not safe for concurrent
+// use, like the connection itself.
+type AEADCache struct {
+	secret []byte
+	iv     []byte
+	aead   cipher.AEAD
+}
+
+func (c *AEADCache) get(secret []byte) (cipher.AEAD, []byte) {
+	if c.aead == nil || !bytes.Equal(c.secret, secret) {
+		key, iv := trafficKeys(secret)
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			panic(err) // key length is fixed at 16
+		}
+		gcm, err := cipher.NewGCM(block)
+		if err != nil {
+			panic(err)
+		}
+		c.secret = append(c.secret[:0], secret...)
+		c.aead, c.iv = gcm, iv
+	}
+	return c.aead, c.iv
+}
+
+// Seal is aeadSeal with the key schedule amortized across records.
+func (c *AEADCache) Seal(secret []byte, seq uint64, plaintext, aad []byte) []byte {
+	aead, iv := c.get(secret)
+	nonce := nonceFor(iv, seq)
+	return aead.Seal(nil, nonce[:], plaintext, aad)
+}
+
+// Open is aeadOpen with the key schedule amortized across records.
+func (c *AEADCache) Open(secret []byte, seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	aead, iv := c.get(secret)
+	nonce := nonceFor(iv, seq)
+	return aead.Open(nil, nonce[:], ciphertext, aad)
+}
+
 // hmacSum computes HMAC-SHA256(key, data).
 func hmacSum(key, data []byte) []byte {
-	m := hmac.New(sha256.New, key)
-	m.Write(data)
-	return m.Sum(nil)
+	s := hmacShort(key, data, nil, nil) // falls back internally on long data
+	out := make([]byte, hashLen)
+	copy(out, s[:])
+	return out
 }
 
 // hmacEqual compares MACs in constant time.

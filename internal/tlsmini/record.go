@@ -40,6 +40,9 @@ type Conn struct {
 	readSeq  map[Epoch]uint64
 	writeSeq map[Epoch]uint64
 
+	sealer AEADCache
+	opener AEADCache
+
 	appIn   [][]byte
 	hsDone  bool
 	lastErr error
@@ -141,11 +144,10 @@ func (c *Conn) writeRecord(ct byte, epoch Epoch, payload []byte) error {
 		if secret == nil {
 			return fmt.Errorf("tlsmini: no write key for epoch %v", epoch)
 		}
-		key, iv := trafficKeys(secret)
 		seq := c.writeSeq[epoch]
 		c.writeSeq[epoch] = seq + 1
 		aad := []byte{ct, byte(epoch)}
-		body = aeadSeal(key, iv, seq, payload, aad)
+		body = c.sealer.Seal(secret, seq, payload, aad)
 	}
 	hdr := []byte{ct, byte(epoch), 0, 0}
 	binary.BigEndian.PutUint16(hdr[2:], uint16(len(body)))
@@ -174,11 +176,10 @@ func (c *Conn) readRecord() (ct byte, epoch Epoch, payload []byte, err error) {
 	if secret == nil {
 		return 0, 0, nil, fmt.Errorf("tlsmini: no read key for epoch %v", epoch)
 	}
-	key, iv := trafficKeys(secret)
 	seq := c.readSeq[epoch]
 	c.readSeq[epoch] = seq + 1
 	aad := []byte{ct, byte(epoch)}
-	plain, err := aeadOpen(key, iv, seq, body, aad)
+	plain, err := c.opener.Open(secret, seq, body, aad)
 	if err != nil {
 		return 0, 0, nil, err
 	}
