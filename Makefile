@@ -12,10 +12,11 @@ race:
 	go test -race ./...
 
 # bench records a benchmark-trajectory point (ns/op, B/op, allocs/op,
-# parallel speedup) to BENCH_PR5.json. Takes a few minutes: every
-# experiment benchmark reruns its campaign 3 times.
+# parallel speedup, suite wall time / peak RSS / pool counters) to
+# BENCH_PR6.json. Takes a few minutes: every experiment benchmark reruns
+# its campaign 3 times, plus one full suite run for telemetry.
 bench:
-	go run ./cmd/bench -count 3 -out BENCH_PR5.json
+	go run ./cmd/bench -count 3 -out BENCH_PR6.json
 
 # bench-smoke compiles and runs every benchmark for one iteration, so
 # benchmarks cannot bit-rot.
@@ -24,7 +25,7 @@ bench-smoke:
 
 # determinism diffs representative experiments at -parallel 1 vs 8.
 determinism:
-	@for id in E4 E13 E16 E19 E20; do \
+	@for id in E4 E12 E13 E16 E19 E20; do \
 		go run ./cmd/experiments -id $$id -parallel 1 > /tmp/$$id-p1.txt; \
 		go run ./cmd/experiments -id $$id -parallel 8 > /tmp/$$id-p8.txt; \
 		diff -u /tmp/$$id-p1.txt /tmp/$$id-p8.txt || exit 1; \

@@ -1,12 +1,14 @@
 // Command bench runs the repository's benchmark suite and records a
 // benchmark-trajectory point as JSON: per-benchmark ns/op, B/op, and
 // allocs/op, plus the serial→parallel speedup of the sharded campaign
-// benchmarks. Committing one BENCH_PR<n>.json per performance PR turns
-// "it got faster" into a reviewable series (see README "Performance").
+// benchmarks, plus one full experiment-suite run's wall time, peak RSS,
+// and byte-pool hit/miss counters. Committing one BENCH_PR<n>.json per
+// performance PR turns "it got faster" into a reviewable series (see
+// README "Performance").
 //
 // Usage:
 //
-//	go run ./cmd/bench [-count 3] [-bench regexp] [-pkg ./...] [-out BENCH_PR5.json]
+//	go run ./cmd/bench [-count 3] [-bench regexp] [-pkg ./...] [-suite=false] [-out BENCH_PR6.json]
 //
 // Equivalent to `make bench`. Each benchmark's best run across -count
 // repetitions is recorded (minimum ns/op; B/op and allocs/op are
@@ -35,6 +37,16 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_op"`
 }
 
+// Suite is one full run of the 21-experiment suite with resource
+// telemetry: wall time, peak RSS, and the byte-pool lease counters (all
+// parsed from cmd/experiments' stderr).
+type Suite struct {
+	Seconds    float64 `json:"seconds"`
+	PeakRSSKB  int64   `json:"peak_rss_kb"`
+	PoolHits   uint64  `json:"pool_hits"`
+	PoolMisses uint64  `json:"pool_misses"`
+}
+
 // Trajectory is the file schema.
 type Trajectory struct {
 	GoVersion  string `json:"go"`
@@ -46,18 +58,50 @@ type Trajectory struct {
 	// ParallelSpeedup maps experiment id to serial-ns / parallel-ns for
 	// the benchmark pairs that exist in both forms (E4, E9).
 	ParallelSpeedup map[string]float64 `json:"parallel_speedup"`
+	// Suite holds the resource telemetry of one full experiment-suite
+	// run (omitted when -suite is disabled or the run fails).
+	Suite *Suite `json:"suite,omitempty"`
 }
 
 var (
 	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op(?:\s+(\S+) B/op)?(?:\s+(\S+) allocs/op)?`)
 	expID     = regexp.MustCompile(`^(E\d+)`)
+	suiteLine = regexp.MustCompile(`(\d+) experiments in ([0-9.]+)s`)
+	poolLine  = regexp.MustCompile(`bytepool (\d+) hits (\d+) misses(?:; peak rss (\d+) KB)?`)
 )
+
+// runSuite executes the full experiment suite once and parses its
+// stderr telemetry. Returns nil when the run fails.
+func runSuite() *Suite {
+	fmt.Fprintln(os.Stderr, "bench: go run ./cmd/experiments (suite telemetry)")
+	cmd := exec.Command("go", "run", "./cmd/experiments")
+	var errBuf bytes.Buffer
+	cmd.Stdout = nil // reports are byte-stable; only stderr matters here
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: suite run failed: %v\n%s", err, errBuf.String())
+		return nil
+	}
+	s := &Suite{}
+	if m := suiteLine.FindStringSubmatch(errBuf.String()); m != nil {
+		s.Seconds, _ = strconv.ParseFloat(m[2], 64)
+	}
+	if m := poolLine.FindStringSubmatch(errBuf.String()); m != nil {
+		s.PoolHits, _ = strconv.ParseUint(m[1], 10, 64)
+		s.PoolMisses, _ = strconv.ParseUint(m[2], 10, 64)
+		if m[3] != "" {
+			s.PeakRSSKB, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+	}
+	return s
+}
 
 func main() {
 	count := flag.Int("count", 3, "benchmark repetitions (best run is recorded)")
 	benchRe := flag.String("bench", ".", "benchmark filter regexp passed to go test")
 	pkg := flag.String("pkg", "./...", "packages to benchmark")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	suite := flag.Bool("suite", true, "also run the full experiment suite once for wall-time/RSS/pool telemetry")
 	flag.Parse()
 
 	args := []string{"test", "-run", "XXX", "-bench", *benchRe, "-benchmem",
@@ -125,6 +169,10 @@ func main() {
 			id = m[1]
 		}
 		tr.ParallelSpeedup[id] = math.Round(serial.NsPerOp/par.NsPerOp*100) / 100
+	}
+
+	if *suite {
+		tr.Suite = runSuite()
 	}
 
 	data, err := json.MarshalIndent(tr, "", "  ")

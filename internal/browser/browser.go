@@ -143,10 +143,6 @@ func (e *Engine) Load(p *pages.Page) Result {
 	htmlDone := w.Now()
 
 	// Group sub-resources by host, preserving page order.
-	type hostWork struct {
-		host      string
-		resources []pages.Resource
-	}
 	var order []string
 	byHost := map[string]*hostWork{}
 	for _, r := range p.Resources {
@@ -159,55 +155,89 @@ func (e *Engine) Load(p *pages.Page) Result {
 		hw.resources = append(hw.resources, r)
 	}
 
-	var criticalDone, allDone time.Duration
-	criticalDone = htmlDone
-	allDone = htmlDone
-
-	wg := sim.NewWaitGroup(w)
-	var firstErr error
-	for i, host := range order {
-		hw := byHost[host]
-		qid := uint16(i + 2)
-		wg.Add(1)
-		w.Go(func() {
-			defer wg.Done()
-			// The landing host is already resolved and connected; third
-			// parties need DNS + connection setup.
-			if hw.host != p.URL {
-				_, dt, err := e.resolve(hw.host, qid)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				res.DNSQueries++
-				res.DNSTime += dt
-				w.Sleep(e.connSetup(p.OriginRTT))
-			}
-			for _, r := range hw.resources {
-				e.fetch(p.OriginRTT, r.Size)
-				if r.Critical && w.Now() > criticalDone {
-					criticalDone = w.Now()
-				}
-			}
-			if w.Now() > allDone {
-				allDone = w.Now()
-			}
-		})
+	// Per-host fetch tasks spawn through a pre-bound adapter sharing one
+	// loadState instead of per-host closures over the local variables.
+	ls := &loadState{
+		e:            e,
+		p:            p,
+		res:          &res,
+		wg:           sim.NewWaitGroup(w),
+		criticalDone: htmlDone,
+		allDone:      htmlDone,
 	}
-	wg.Wait()
-	if firstErr != nil {
-		res.Err = firstErr
+	for i, host := range order {
+		ls.wg.Add(1)
+		w.GoCall(loadHostJob, &hostJob{ls: ls, hw: byHost[host], qid: uint16(i + 2)})
+	}
+	ls.wg.Wait()
+	if ls.firstErr != nil {
+		res.Err = ls.firstErr
 		return res
 	}
 
-	res.FCP = criticalDone + p.RenderDelay - start
-	res.PLT = allDone + p.OnLoadDelay - start
+	res.FCP = ls.criticalDone + p.RenderDelay - start
+	res.PLT = ls.allDone + p.OnLoadDelay - start
 	if res.FCP > res.PLT {
 		res.FCP = res.PLT
 	}
 	return res
+}
+
+// hostWork is one host's ordered slice of sub-resources.
+type hostWork struct {
+	host      string
+	resources []pages.Resource
+}
+
+// loadState is the shared state of one Load's parallel per-host fetch
+// tasks. The sim world runs one task at a time, so the fields need no
+// locking.
+type loadState struct {
+	e            *Engine
+	p            *pages.Page
+	res          *Result
+	wg           *sim.WaitGroup
+	firstErr     error
+	criticalDone time.Duration
+	allDone      time.Duration
+}
+
+type hostJob struct {
+	ls  *loadState
+	hw  *hostWork
+	qid uint16
+}
+
+// loadHostJob resolves (if third-party) and fetches one host's assets;
+// it is the pre-bound adapter shared by all per-host tasks.
+func loadHostJob(v any) {
+	j := v.(*hostJob)
+	ls, hw := j.ls, j.hw
+	defer ls.wg.Done()
+	w := ls.e.Host.World()
+	// The landing host is already resolved and connected; third
+	// parties need DNS + connection setup.
+	if hw.host != ls.p.URL {
+		_, dt, err := ls.e.resolve(hw.host, j.qid)
+		if err != nil {
+			if ls.firstErr == nil {
+				ls.firstErr = err
+			}
+			return
+		}
+		ls.res.DNSQueries++
+		ls.res.DNSTime += dt
+		w.Sleep(ls.e.connSetup(ls.p.OriginRTT))
+	}
+	for _, r := range hw.resources {
+		ls.e.fetch(ls.p.OriginRTT, r.Size)
+		if r.Critical && w.Now() > ls.criticalDone {
+			ls.criticalDone = w.Now()
+		}
+	}
+	if w.Now() > ls.allDone {
+		ls.allDone = w.Now()
+	}
 }
 
 // LoadAll navigates a list of pages sequentially, returning per-page

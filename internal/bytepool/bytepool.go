@@ -1,0 +1,86 @@
+// Package bytepool provides a tiered free list for the per-datagram and
+// per-record buffers that dominate steady-state allocation in the
+// simulator: netem datagram payloads, QUIC packet assembly, TCP segment
+// encoding, and TLS record protection all lease buffers here instead of
+// allocating garbage per packet.
+//
+// A Pool belongs to one simulation World. The sim kernel runs exactly one
+// task at a time per World, so Pool methods need no locking; the only
+// shared state is the package-level hit/miss counters, which are atomic
+// so concurrent campaign shards can aggregate into them.
+//
+// Ownership discipline: a leased buffer has exactly one owner. Sending a
+// buffer through a netem socket transfers ownership to the network, which
+// releases it on drop or hands it to the receiver, who releases it after
+// parsing. Double-Put is a bug; Put clears the slice header it is given
+// in debug builds of callers by convention (callers should nil their
+// reference after Put).
+package bytepool
+
+import "sync/atomic"
+
+// Tier capacities. 512 covers queries and ACK-sized segments, 2048
+// covers MTU-sized datagrams and typical TLS records, 18432 covers
+// maximum-size TLS records (16KB plaintext + framing) and certificate
+// chains.
+var tierCaps = [...]int{512, 2048, 18432}
+
+const maxPerTier = 256 // free-list depth bound per tier
+
+var (
+	hits   atomic.Uint64
+	misses atomic.Uint64
+)
+
+// Stats returns the cumulative lease counters across all pools: hits
+// (leases served from a free list) and misses (leases that allocated,
+// including oversized requests).
+func Stats() (h, m uint64) { return hits.Load(), misses.Load() }
+
+// ResetStats zeroes the counters (used by benchmarks).
+func ResetStats() { hits.Store(0); misses.Store(0) }
+
+// Pool is a tiered byte-slice free list for a single World. The zero
+// value is ready to use.
+type Pool struct {
+	free [len(tierCaps)][][]byte
+}
+
+// Get leases a zero-length buffer with capacity at least n. Requests
+// larger than the top tier are allocated directly and will be dropped
+// again on Put.
+func (p *Pool) Get(n int) []byte {
+	for t, c := range tierCaps {
+		if n <= c {
+			if l := len(p.free[t]); l > 0 {
+				b := p.free[t][l-1]
+				p.free[t][l-1] = nil
+				p.free[t] = p.free[t][:l-1]
+				hits.Add(1)
+				return b[:0]
+			}
+			misses.Add(1)
+			return make([]byte, 0, c)
+		}
+	}
+	misses.Add(1)
+	return make([]byte, 0, n)
+}
+
+// Put returns a buffer leased by Get to its tier. Buffers whose capacity
+// matches no tier (oversized or foreign) are dropped for the GC; a nil
+// buffer is a no-op, so callers can Put unconditionally on drop paths.
+func (p *Pool) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	c := cap(b)
+	for t, tc := range tierCaps {
+		if c == tc {
+			if len(p.free[t]) < maxPerTier {
+				p.free[t] = append(p.free[t], b[:0])
+			}
+			return
+		}
+	}
+}

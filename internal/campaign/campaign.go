@@ -54,35 +54,103 @@ func Workers(parallelism, shards int) int {
 // and returns the per-shard results in shard order. run is called once
 // per shard, possibly concurrently with other shards; it must confine
 // all mutable state to its own shard (each shard builds its own World).
+//
+// Scheduling is work-stealing: each worker owns a static consecutive
+// span of the shard plan and consumes it front-to-back; a worker whose
+// span runs dry steals the tail shard from whichever worker has the
+// most work left. Skewed campaigns (one expensive shard) therefore
+// finish in max(shard) time instead of max(static span) time, while
+// shard seeds and the gather order stay pure functions of the plan.
 func Run[R any](seed int64, n, parallelism int, run func(Shard) R) []R {
+	results, _ := RunTraced(seed, n, parallelism, run)
+	return results
+}
+
+// RunTraced is Run plus scheduling observability: it also reports which
+// worker executed each shard (indexed by shard). The trace exists for
+// tests and diagnostics; campaign output must never depend on it.
+func RunTraced[R any](seed int64, n, parallelism int, run func(Shard) R) ([]R, []int) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	results := make([]R, n)
+	workerOf := make([]int, n)
 	workers := Workers(parallelism, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			results[i] = run(Shard{Index: i, Seed: sim.DeriveSeed(seed, uint64(i))})
 		}
-		return results
+		return results, workerOf
 	}
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
+	st := &stealState{spans: staticSpans(n, workers)}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			for i := range idx {
+			for {
+				i, ok := st.next(self)
+				if !ok {
+					return
+				}
+				workerOf[i] = self
 				results[i] = run(Shard{Index: i, Seed: sim.DeriveSeed(seed, uint64(i))})
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return results
+	return results, workerOf
+}
+
+// staticSpans deals [0, n) to workers as consecutive near-equal spans
+// (the initial ownership of the work-stealing queue).
+func staticSpans(n, workers int) []Span {
+	spans := make([]Span, workers)
+	base, rem := n/workers, n%workers
+	lo := 0
+	for w := range spans {
+		sz := base
+		if w < rem {
+			sz++
+		}
+		spans[w] = Span{Lo: lo, Hi: lo + sz}
+		lo += sz
+	}
+	return spans
+}
+
+// stealState is the shared work-stealing queue: per-worker remaining
+// spans under one mutex. Shards are coarse (milliseconds to seconds of
+// simulation each), so a single lock is cheaper than per-worker deques
+// and keeps victim selection (most-loaded) exact.
+type stealState struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// next returns the next shard index for worker self: the front of its
+// own span, or — once empty — the tail shard stolen from the worker
+// with the most remaining work. ok is false when no work remains.
+func (st *stealState) next(self int) (i int, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sp := &st.spans[self]; sp.Lo < sp.Hi {
+		i = sp.Lo
+		sp.Lo++
+		return i, true
+	}
+	victim, most := -1, 0
+	for w := range st.spans {
+		if l := st.spans[w].Len(); l > most {
+			victim, most = w, l
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	sp := &st.spans[victim]
+	sp.Hi--
+	return sp.Hi, true
 }
 
 // RunErr is Run for fallible shards: it executes n shards like Run and
@@ -118,6 +186,12 @@ func (s Span) Len() int { return s.Hi - s.Lo }
 // indices. size <= 0 yields a single span. The partition depends only on
 // (n, size) — never on the worker count — so it is safe to use as a
 // shard plan.
+//
+// A remainder smaller than half a block would otherwise leave a
+// pathological tiny final shard (e.g. n=33, size=32 → spans of 32 and
+// 1); in that case the last two spans are rebalanced to near-equal
+// sizes instead. Remainders of half a block or more are left alone, so
+// plans without the pathology are unchanged.
 func Blocks(n, size int) []Span {
 	if n <= 0 {
 		return nil
@@ -132,6 +206,15 @@ func Blocks(n, size int) []Span {
 			hi = n
 		}
 		out = append(out, Span{Lo: lo, Hi: hi})
+	}
+	if k := len(out); k >= 2 {
+		if r := out[k-1].Len(); r*2 < size {
+			total := out[k-2].Len() + r
+			first := (total + 1) / 2
+			lo := out[k-2].Lo
+			out[k-2] = Span{Lo: lo, Hi: lo + first}
+			out[k-1] = Span{Lo: lo + first, Hi: out[k-1].Hi}
+		}
 	}
 	return out
 }

@@ -1,10 +1,12 @@
 package campaign
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -17,11 +19,12 @@ func TestBlocksPartition(t *testing.T) {
 		{0, 4, nil},
 		{1, 4, []Span{{0, 1}}},
 		{4, 4, []Span{{0, 4}}},
-		{5, 4, []Span{{0, 4}, {4, 5}}},
+		{5, 4, []Span{{0, 3}, {3, 5}}}, // remainder 1 < 4/2: rebalanced
 		{8, 4, []Span{{0, 4}, {4, 8}}},
-		{10, 3, []Span{{0, 3}, {3, 6}, {6, 9}, {9, 10}}},
-		{7, 0, []Span{{0, 7}}},   // size 0 = one span
-		{3, 100, []Span{{0, 3}}}, // oversized block clamps
+		{6, 4, []Span{{0, 4}, {4, 6}}},                   // remainder 2 = 4/2: untouched
+		{10, 3, []Span{{0, 3}, {3, 6}, {6, 8}, {8, 10}}}, // tail 3+1 → 2+2
+		{7, 0, []Span{{0, 7}}},                           // size 0 = one span
+		{3, 100, []Span{{0, 3}}},                         // oversized block clamps
 	}
 	for _, c := range cases {
 		got := Blocks(c.n, c.size)
@@ -49,6 +52,39 @@ func TestBlocksCoverEveryIndexOnce(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestBlocksNoTinyTail sweeps awkward (n, size) pairs — remainders of 1,
+// near-multiples, size just over n/2 — and checks the anti-pathology
+// guarantee: whenever the plan has more than one span, no span is
+// smaller than half a block.
+func TestBlocksNoTinyTail(t *testing.T) {
+	cases := [][2]int{
+		{33, 32}, {65, 32}, {97, 32}, {321, 32}, // remainder 1
+		{31, 32}, {63, 32}, // just under a multiple
+		{17, 16}, {49, 16}, {100, 16},
+		{9, 8}, {1000, 999}, {11, 7}, {13, 12},
+	}
+	for _, c := range cases {
+		n, size := c[0], c[1]
+		spans := Blocks(n, size)
+		if len(spans) < 2 {
+			continue
+		}
+		for _, s := range spans {
+			if s.Len()*2 < size {
+				t.Errorf("Blocks(%d,%d) = %v: span %v smaller than half a block", n, size, spans, s)
+			}
+			if s.Len() > size {
+				t.Errorf("Blocks(%d,%d): span %v exceeds block size", n, size, s)
+			}
+		}
+	}
+	// The rebalance stays local: earlier spans keep the exact block size.
+	spans := Blocks(97, 32)
+	if spans[0] != (Span{0, 32}) || len(spans) != 4 {
+		t.Errorf("Blocks(97,32) = %v: leading spans must stay full blocks", spans)
 	}
 }
 
@@ -126,6 +162,69 @@ func TestRunActuallyParallel(t *testing.T) {
 	})
 	if peak != par {
 		t.Errorf("peak concurrency = %d, want %d", peak, par)
+	}
+}
+
+// TestStealingSkewedCampaign is the scheduler's core property test: a
+// campaign where one shard costs ~10× the others must (a) produce
+// byte-identical results at parallelism 1, 2, and 8, and (b) actually
+// steal — more than one worker finishes shards outside its static span.
+func TestStealingSkewedCampaign(t *testing.T) {
+	const n = 16
+	run := func(s Shard) string {
+		d := 2 * time.Millisecond
+		if s.Index == 0 {
+			d = 20 * time.Millisecond // the skewed shard
+		}
+		time.Sleep(d)
+		return fmt.Sprintf("shard %d seed %d", s.Index, s.Seed)
+	}
+	want, _ := RunTraced(99, n, 1, run)
+	for _, par := range []int{2, 8} {
+		got, workerOf := RunTraced(99, n, par, run)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d changed results:\n got %v\nwant %v", par, got, want)
+		}
+		workers := Workers(par, n)
+		spans := staticSpans(n, workers)
+		owner := func(i int) int {
+			for w, sp := range spans {
+				if i >= sp.Lo && i < sp.Hi {
+					return w
+				}
+			}
+			return -1
+		}
+		stolen := 0
+		finishers := map[int]bool{}
+		for i, w := range workerOf {
+			finishers[w] = true
+			if w != owner(i) {
+				stolen++
+			}
+		}
+		if stolen == 0 {
+			t.Errorf("parallelism %d: no shard was stolen despite 10x skew (workerOf=%v)", par, workerOf)
+		}
+		if len(finishers) < 2 {
+			t.Errorf("parallelism %d: only %d worker(s) finished shards", par, len(finishers))
+		}
+	}
+}
+
+// TestStealVictimIsMostLoaded pins the victim-selection policy: a thief
+// takes the tail shard of the worker with the most remaining work.
+func TestStealVictimIsMostLoaded(t *testing.T) {
+	st := &stealState{spans: []Span{{0, 0}, {4, 6}, {6, 12}}}
+	if i, ok := st.next(0); !ok || i != 11 {
+		t.Fatalf("steal = %d, %v; want tail of most-loaded span (11)", i, ok)
+	}
+	if st.spans[2] != (Span{6, 11}) {
+		t.Fatalf("victim span = %v after steal", st.spans[2])
+	}
+	// Own work always beats stealing.
+	if i, ok := st.next(1); !ok || i != 4 {
+		t.Fatalf("own-span next = %d, %v; want 4", i, ok)
 	}
 }
 

@@ -139,7 +139,18 @@ var (
 
 // Encode serializes the message to wire format.
 func (m *Message) Encode() []byte {
-	e := encoder{names: make(map[string]int)}
+	// One right-sized allocation beats letting append discover the
+	// message size 16 bytes at a time.
+	return m.AppendEncode(make([]byte, 0, 512))
+}
+
+// AppendEncode appends the wire encoding to dst and returns the extended
+// slice, reusing dst's capacity (servers lease dst from a byte pool).
+func (m *Message) AppendEncode(dst []byte) []byte {
+	var e encoder
+	e.buf = dst
+	e.base = len(dst) // compression offsets are message-relative
+	e.names = e.nameArr[:0]
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -159,10 +170,9 @@ func (m *Message) Encode() []byte {
 	}
 	flags |= uint16(m.RCode & 0xf)
 
-	adds := m.Additionals
+	nAdds := len(m.Additionals)
 	if m.UDPSize > 0 {
-		opt := Resource{Name: ".", Type: TypeOPT, Class: Class(m.UDPSize)}
-		adds = append(append([]Resource(nil), adds...), opt)
+		nAdds++ // OPT pseudo-record appended below
 	}
 
 	e.u16(m.ID)
@@ -170,47 +180,70 @@ func (m *Message) Encode() []byte {
 	e.u16(uint16(len(m.Questions)))
 	e.u16(uint16(len(m.Answers)))
 	e.u16(uint16(len(m.Authorities)))
-	e.u16(uint16(len(adds)))
-	for _, q := range m.Questions {
+	e.u16(uint16(nAdds))
+	for i := range m.Questions {
+		q := &m.Questions[i]
 		e.name(q.Name)
 		e.u16(uint16(q.Type))
 		e.u16(uint16(q.Class))
 	}
-	for _, sec := range [][]Resource{m.Answers, m.Authorities, adds} {
-		for _, r := range sec {
-			e.resource(r)
+	for _, sec := range [3][]Resource{m.Answers, m.Authorities, m.Additionals} {
+		for i := range sec {
+			e.resource(&sec[i])
 		}
+	}
+	if m.UDPSize > 0 {
+		opt := Resource{Name: ".", Type: TypeOPT, Class: Class(m.UDPSize)}
+		e.resource(&opt)
 	}
 	return e.buf
 }
 
+// nameOffset records where a name suffix was written, for compression.
+// A small linear table beats a map here: messages carry a handful of
+// names, and the table lives on the encoder's stack frame.
+type nameOffset struct {
+	suffix string
+	off    int
+}
+
 type encoder struct {
-	buf   []byte
-	names map[string]int
+	buf     []byte
+	base    int // message start within buf
+	names   []nameOffset
+	nameArr [24]nameOffset
 }
 
 func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
 func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
 
 // name encodes a domain name with compression against previously written
-// names.
+// names. Suffixes are substrings of name, so recording them costs no
+// allocation.
 func (e *encoder) name(name string) {
 	name = strings.TrimSuffix(name, ".")
 	if name == "" {
 		e.buf = append(e.buf, 0)
 		return
 	}
-	labels := strings.Split(name, ".")
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".")
-		if off, ok := e.names[suffix]; ok && off < 0x3fff {
-			e.u16(0xc000 | uint16(off))
-			return
+	for i := 0; i < len(name); {
+		suffix := name[i:]
+		for _, n := range e.names {
+			if n.suffix == suffix {
+				e.u16(0xc000 | uint16(n.off))
+				return
+			}
 		}
-		if len(e.buf) < 0x3fff {
-			e.names[suffix] = len(e.buf)
+		if len(e.buf)-e.base < 0x3fff {
+			e.names = append(e.names, nameOffset{suffix, len(e.buf) - e.base})
 		}
-		l := labels[i]
+		l := suffix
+		if j := strings.IndexByte(suffix, '.'); j >= 0 {
+			l = suffix[:j]
+			i += j + 1
+		} else {
+			i = len(name)
+		}
 		if len(l) > 63 {
 			l = l[:63]
 		}
@@ -220,7 +253,7 @@ func (e *encoder) name(name string) {
 	e.buf = append(e.buf, 0)
 }
 
-func (e *encoder) resource(r Resource) {
+func (e *encoder) resource(r *Resource) {
 	e.name(r.Name)
 	e.u16(uint16(r.Type))
 	e.u16(uint16(r.Class))
@@ -230,7 +263,13 @@ func (e *encoder) resource(r Resource) {
 	start := len(e.buf)
 	switch r.Type {
 	case TypeA, TypeAAAA:
-		e.buf = append(e.buf, r.Addr.AsSlice()...)
+		if r.Addr.Is4() {
+			a := r.Addr.As4()
+			e.buf = append(e.buf, a[:]...)
+		} else {
+			a := r.Addr.As16()
+			e.buf = append(e.buf, a[:]...)
+		}
 	case TypeCNAME, TypeNS:
 		e.name(r.Target)
 	default:
@@ -260,7 +299,7 @@ func Decode(b []byte) (*Message, error) {
 	m.RecursionAvailable = flags&(1<<7) != 0
 	m.RCode = RCode(flags & 0xf)
 
-	counts := make([]uint16, 4)
+	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = d.u16(); err != nil {
 			return nil, err
@@ -323,7 +362,7 @@ func (d *decoder) u32() (uint32, error) {
 }
 
 func (d *decoder) name() (string, error) {
-	s, next, err := d.nameAt(d.off, 0)
+	s, next, err := d.nameAt(d.off)
 	if err != nil {
 		return "", err
 	}
@@ -332,12 +371,15 @@ func (d *decoder) name() (string, error) {
 }
 
 // nameAt decodes a possibly compressed name starting at off. It returns
-// the name and the offset just past the name's first encoding.
-func (d *decoder) nameAt(off, depth int) (string, int, error) {
-	if depth > 16 {
-		return "", 0, errLoop
-	}
-	var sb strings.Builder
+// the name and the offset just past the name's first encoding. Labels
+// accumulate in a stack buffer (names are at most 255 bytes on the wire)
+// so the only allocation is the returned string; compression pointers
+// are followed iteratively and must point strictly backwards, which
+// bounds the walk without a depth counter.
+func (d *decoder) nameAt(off int) (string, int, error) {
+	var arr [256]byte
+	b := arr[:0]
+	end := -1 // offset just past the first encoding, once known
 	for {
 		if off >= len(d.buf) {
 			return "", 0, errShortMessage
@@ -346,10 +388,13 @@ func (d *decoder) nameAt(off, depth int) (string, int, error) {
 		switch {
 		case l == 0:
 			off++
-			if sb.Len() == 0 {
-				return ".", off, nil
+			if end < 0 {
+				end = off
 			}
-			return sb.String(), off, nil
+			if len(b) == 0 {
+				return ".", end, nil
+			}
+			return string(b), end, nil
 		case l&0xc0 == 0xc0:
 			if off+2 > len(d.buf) {
 				return "", 0, errShortMessage
@@ -358,21 +403,10 @@ func (d *decoder) nameAt(off, depth int) (string, int, error) {
 			if ptr >= off {
 				return "", 0, errLoop
 			}
-			rest, _, err := d.nameAt(ptr, depth+1)
-			if err != nil {
-				return "", 0, err
+			if end < 0 {
+				end = off + 2
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
-			}
-			if rest != "." {
-				sb.WriteString(rest)
-			}
-			s := sb.String()
-			if s == "" {
-				s = "."
-			}
-			return s, off + 2, nil
+			off = ptr
 		case l&0xc0 != 0:
 			return "", 0, errBadName
 		default:
@@ -380,10 +414,13 @@ func (d *decoder) nameAt(off, depth int) (string, int, error) {
 			if off+l > len(d.buf) {
 				return "", 0, errShortMessage
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if len(b) > 0 {
+				b = append(b, '.')
 			}
-			sb.Write(d.buf[off : off+l])
+			if len(b)+l > len(arr) {
+				return "", 0, errBadName
+			}
+			b = append(b, d.buf[off:off+l]...)
 			off += l
 		}
 	}
@@ -426,7 +463,7 @@ func (d *decoder) resource() (Resource, error) {
 			r.Addr = netip.AddrFrom16([16]byte(rdata))
 		}
 	case TypeCNAME, TypeNS:
-		target, _, err := d.nameAt(d.off, 0)
+		target, _, err := d.nameAt(d.off)
 		if err != nil {
 			return r, err
 		}

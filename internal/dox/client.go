@@ -157,6 +157,7 @@ func (c *udpClient) readLoop() {
 			return
 		}
 		resp, err := dnsmsg.Decode(d.Payload)
+		c.sock.Pool().Put(d.Payload) // Decode copies everything it keeps
 		if err != nil {
 			continue
 		}
@@ -280,6 +281,16 @@ func prefixMessage(wire []byte) []byte {
 	out[0] = byte(len(wire) >> 8)
 	out[1] = byte(len(wire))
 	return append(out, wire...)
+}
+
+// appendPrefixed encodes the message with its 2-byte length prefix in a
+// single right-sized buffer.
+func appendPrefixed(m *dnsmsg.Message) []byte {
+	wire := m.AppendEncode(make([]byte, 2, 2+512))
+	n := len(wire) - 2
+	wire[0] = byte(n >> 8)
+	wire[1] = byte(n)
+	return wire
 }
 
 // byteStream is the minimal reader both tcpsim.Conn and tlsmini.Conn

@@ -80,6 +80,130 @@ type Server struct {
 	dohL    *tcpsim.Listener
 	doqL    *quic.Listener
 	doh3L   *quic.Listener
+
+	// Free lists for the per-query task argument boxes, so steady-state
+	// request dispatch spawns through pre-bound adapters (sim.GoCall)
+	// with neither a closure nor a fresh carrier allocation. The sim
+	// world runs one task at a time, so no locking is needed.
+	udpFree []*udpJob
+	tcpFree []*tcpJob
+	dotFree []*dotJob
+	doqFree []*doqJob
+}
+
+// udpJob carries one DoUDP query from the receive loop to its task.
+type udpJob struct {
+	s    *Server
+	sock *netem.Socket
+	d    netem.Datagram
+}
+
+// serveUDPJob is the pre-bound adapter for DoUDP queries. The box is
+// freed as soon as its fields are read; the datagram buffer returns to
+// the pool right after decoding (Decode copies everything it keeps).
+func serveUDPJob(v any) {
+	j := v.(*udpJob)
+	s, sock, d := j.s, j.sock, j.d
+	j.s, j.sock, j.d = nil, nil, netem.Datagram{}
+	s.udpFree = append(s.udpFree, j)
+	q, err := dnsmsg.Decode(d.Payload)
+	sock.Pool().Put(d.Payload)
+	if err != nil {
+		return
+	}
+	if resp := s.cfg.Handler(q, DoUDP, d.Src); resp != nil {
+		// Encode straight into a pooled buffer; Send transfers its
+		// ownership to the network.
+		sock.Send(d.Src, resp.AppendEncode(sock.Pool().Get(512)))
+	}
+}
+
+// tcpJob carries one accepted DoTCP connection (one query each: no
+// public resolver supports edns-tcp-keepalive, paper §3).
+type tcpJob struct {
+	s    *Server
+	conn *tcpsim.Conn
+}
+
+func serveTCPJob(v any) {
+	j := v.(*tcpJob)
+	s, conn := j.s, j.conn
+	j.s, j.conn = nil, nil
+	s.tcpFree = append(s.tcpFree, j)
+	q, err := readPrefixedMessage(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if resp := s.cfg.Handler(q, DoTCP, conn.RemoteAddr()); resp != nil {
+		conn.Write(appendPrefixed(resp))
+	}
+	conn.Close()
+}
+
+// dotJob carries one length-delimited DoT query off a persistent
+// connection's TLS stream.
+type dotJob struct {
+	s    *Server
+	tls  *tlsmini.Conn
+	from netip.AddrPort
+	wire []byte
+}
+
+func serveDoTJob(v any) {
+	j := v.(*dotJob)
+	s, tls, from, wire := j.s, j.tls, j.from, j.wire
+	j.s, j.tls, j.wire = nil, nil, nil
+	s.dotFree = append(s.dotFree, j)
+	q, err := dnsmsg.Decode(wire)
+	if err != nil {
+		return
+	}
+	if resp := s.cfg.Handler(q, DoT, from); resp != nil {
+		tls.Write(appendPrefixed(resp))
+	}
+}
+
+// doqJob carries one accepted DoQ stream (= one query, RFC 9250).
+type doqJob struct {
+	s        *Server
+	conn     *quic.Conn
+	st       *quic.Stream
+	prefixed bool
+}
+
+func serveDoQJob(v any) {
+	j := v.(*doqJob)
+	s, conn, st, prefixed := j.s, j.conn, j.st, j.prefixed
+	j.s, j.conn, j.st = nil, nil, nil
+	s.doqFree = append(s.doqFree, j)
+	data, ok := st.ReadAll()
+	if !ok {
+		return
+	}
+	if prefixed {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0])<<8 | int(data[1])
+		if len(data) < 2+n {
+			return
+		}
+		data = data[2 : 2+n]
+	}
+	q, err := dnsmsg.Decode(data)
+	if err != nil {
+		return
+	}
+	resp := s.cfg.Handler(q, DoQ, conn.RemoteAddr())
+	if resp == nil {
+		return
+	}
+	if prefixed {
+		st.Write(appendPrefixed(resp), true)
+	} else {
+		st.Write(resp.Encode(), true)
+	}
 }
 
 // NewServer creates a server; call the Serve* methods to enable
@@ -102,15 +226,15 @@ func (s *Server) ServeUDP() error {
 			if !ok {
 				return
 			}
-			w.Go(func() {
-				q, err := dnsmsg.Decode(d.Payload)
-				if err != nil {
-					return
-				}
-				if resp := s.cfg.Handler(q, DoUDP, d.Src); resp != nil {
-					sock.Send(d.Src, resp.Encode())
-				}
-			})
+			var j *udpJob
+			if n := len(s.udpFree); n > 0 {
+				j = s.udpFree[n-1]
+				s.udpFree = s.udpFree[:n-1]
+			} else {
+				j = &udpJob{}
+			}
+			j.s, j.sock, j.d = s, sock, d
+			w.GoCall(serveUDPJob, j)
 		}
 	})
 	return nil
@@ -131,17 +255,15 @@ func (s *Server) ServeTCP() error {
 			if !ok {
 				return
 			}
-			w.Go(func() {
-				q, err := readPrefixedMessage(conn)
-				if err != nil {
-					conn.Close()
-					return
-				}
-				if resp := s.cfg.Handler(q, DoTCP, conn.RemoteAddr()); resp != nil {
-					conn.Write(prefixMessage(resp.Encode()))
-				}
-				conn.Close()
-			})
+			var j *tcpJob
+			if n := len(s.tcpFree); n > 0 {
+				j = s.tcpFree[n-1]
+				s.tcpFree = s.tcpFree[:n-1]
+			} else {
+				j = &tcpJob{}
+			}
+			j.s, j.conn = s, conn
+			w.GoCall(serveTCPJob, j)
 		}
 	})
 	return nil
@@ -192,25 +314,32 @@ func (s *Server) ServeDoT() error {
 					conn.Close()
 					return
 				}
+				// Extract length-prefixed queries from the TLS stream,
+				// consuming buf through a cursor instead of re-copying the
+				// remainder after every query.
 				var buf []byte
+				off := 0
 				for {
-					// Extract length-prefixed queries from the TLS stream.
-					for len(buf) >= 2 {
-						n := int(buf[0])<<8 | int(buf[1])
-						if len(buf) < 2+n {
+					for len(buf)-off >= 2 {
+						n := int(buf[off])<<8 | int(buf[off+1])
+						if len(buf)-off < 2+n {
 							break
 						}
-						wire := append([]byte(nil), buf[2:2+n]...)
-						buf = append([]byte(nil), buf[2+n:]...)
-						w.Go(func() {
-							q, err := dnsmsg.Decode(wire)
-							if err != nil {
-								return
-							}
-							if resp := s.cfg.Handler(q, DoT, conn.RemoteAddr()); resp != nil {
-								tls.Write(prefixMessage(resp.Encode()))
-							}
-						})
+						wire := append([]byte(nil), buf[off+2:off+2+n]...)
+						off += 2 + n
+						var j *dotJob
+						if l := len(s.dotFree); l > 0 {
+							j = s.dotFree[l-1]
+							s.dotFree = s.dotFree[:l-1]
+						} else {
+							j = &dotJob{}
+						}
+						j.s, j.tls, j.from, j.wire = s, tls, conn.RemoteAddr(), wire
+						w.GoCall(serveDoTJob, j)
+					}
+					if off == len(buf) {
+						buf = buf[:0]
+						off = 0
 					}
 					chunk, ok := tls.Read()
 					if !ok {
@@ -303,36 +432,15 @@ func (s *Server) ServeDoQ() error {
 					if !ok {
 						return
 					}
-					w.Go(func() {
-						data, ok := st.ReadAll()
-						if !ok {
-							return
-						}
-						if prefixed {
-							if len(data) < 2 {
-								return
-							}
-							n := int(data[0])<<8 | int(data[1])
-							if len(data) < 2+n {
-								return
-							}
-							data = data[2 : 2+n]
-						}
-						q, err := dnsmsg.Decode(data)
-						if err != nil {
-							return
-						}
-						resp := s.cfg.Handler(q, DoQ, conn.RemoteAddr())
-						if resp == nil {
-							return
-						}
-						wire := resp.Encode()
-						if prefixed {
-							st.Write(prefixMessage(wire), true)
-						} else {
-							st.Write(wire, true)
-						}
-					})
+					var j *doqJob
+					if n := len(s.doqFree); n > 0 {
+						j = s.doqFree[n-1]
+						s.doqFree = s.doqFree[:n-1]
+					} else {
+						j = &doqJob{}
+					}
+					j.s, j.conn, j.st, j.prefixed = s, conn, st, prefixed
+					w.GoCall(serveDoQJob, j)
 				}
 			})
 		}

@@ -54,14 +54,14 @@ type Header struct {
 var settingsPayload = make([]byte, 18)
 
 func writeFrame(s tlsmini.Stream, ftype, flags byte, streamID uint32, payload []byte) error {
-	hdr := make([]byte, 9)
-	hdr[0] = byte(len(payload) >> 16)
-	hdr[1] = byte(len(payload) >> 8)
-	hdr[2] = byte(len(payload))
-	hdr[3] = ftype
-	hdr[4] = flags
-	binary.BigEndian.PutUint32(hdr[5:], streamID)
-	return s.Write(append(hdr, payload...))
+	buf := make([]byte, 9, 9+len(payload))
+	buf[0] = byte(len(payload) >> 16)
+	buf[1] = byte(len(payload) >> 8)
+	buf[2] = byte(len(payload))
+	buf[3] = ftype
+	buf[4] = flags
+	binary.BigEndian.PutUint32(buf[5:], streamID)
+	return s.Write(append(buf, payload...))
 }
 
 type rawFrame struct {
@@ -122,31 +122,37 @@ func (r *frameReader) next() (rawFrame, bool) {
 // references afterwards (the size behaviour of HPACK without its exact
 // encoding).
 type hpackTable struct {
-	index map[string]uint16
+	index map[Header]uint16
+	byIdx []Header // byIdx[i] holds the header assigned index 62+i
 	next  uint16
+	ebuf  []byte // encode scratch; safe because writeFrame copies
 }
 
 func newHpackTable() *hpackTable {
-	return &hpackTable{index: make(map[string]uint16), next: 62} // after static table
+	return &hpackTable{index: make(map[Header]uint16), next: 62} // after static table
+}
+
+func (t *hpackTable) insert(h Header) {
+	t.index[h] = t.next
+	t.byIdx = append(t.byIdx, h)
+	t.next++
 }
 
 func (t *hpackTable) encode(headers []Header) []byte {
-	var b []byte
-	b = append(b, byte(len(headers)))
+	b := append(t.ebuf[:0], byte(len(headers)))
 	for _, h := range headers {
-		key := h.Name + ":" + h.Value
-		if idx, ok := t.index[key]; ok {
+		if idx, ok := t.index[h]; ok {
 			b = append(b, 0xff)
 			b = binary.BigEndian.AppendUint16(b, idx)
 			continue
 		}
-		t.index[key] = t.next
-		t.next++
+		t.insert(h)
 		b = append(b, byte(len(h.Name)))
 		b = append(b, h.Name...)
 		b = binary.BigEndian.AppendUint16(b, uint16(len(h.Value)))
 		b = append(b, h.Value...)
 	}
+	t.ebuf = b
 	return b
 }
 
@@ -187,22 +193,15 @@ func (t *hpackTable) decode(b []byte) ([]Header, error) {
 		value := string(b[3+nl : 3+nl+vl])
 		b = b[3+nl+vl:]
 		h := Header{name, value}
-		t.index[name+":"+value] = t.next
-		t.next++
+		t.insert(h)
 		out = append(out, h)
 	}
 	return out, nil
 }
 
 func (t *hpackTable) byIndex(idx uint16) (Header, bool) {
-	for k, v := range t.index {
-		if v == idx {
-			for i := 0; i < len(k); i++ {
-				if k[i] == ':' && i > 0 {
-					return Header{k[:i], k[i+1:]}, true
-				}
-			}
-		}
+	if idx >= 62 && int(idx-62) < len(t.byIdx) {
+		return t.byIdx[idx-62], true
 	}
 	return Header{}, false
 }
@@ -327,7 +326,9 @@ func (c *ClientConn) RoundTrip(headers []Header, body []byte) (*Response, error)
 	}
 	id := c.nextID
 	c.nextID += 2
-	st := &streamState{done: sim.NewFuture[*Response](c.w, fmt.Sprintf("h2-stream-%d", id))}
+	// Static name: the id only matters in deadlock diagnostics, and
+	// formatting it would allocate per request.
+	st := &streamState{done: sim.NewFuture[*Response](c.w, "h2-stream")}
 	c.pending[id] = st
 	if err := writeFrame(c.s, frameHeaders, flagEndHeaders, id, c.encTab.encode(headers)); err != nil {
 		return nil, err
@@ -367,7 +368,7 @@ func ServeConn(w *sim.World, s tlsmini.Stream, handler Handler) {
 		return
 	}
 	decTab := newHpackTable()
-	encTab := newHpackTable()
+	srv := &serverConn{w: w, s: s, encTab: newHpackTable(), handler: handler}
 	reqs := make(map[uint32]*reqState)
 	for {
 		f, ok := reader.next()
@@ -390,7 +391,7 @@ func ServeConn(w *sim.World, s tlsmini.Stream, handler Handler) {
 				delete(reqs, f.streamID)
 				// Streams are served concurrently, as real servers do;
 				// response frames interleave but are written atomically.
-				w.Go(func() { serveOne(w, s, encTab, id, st, handler) })
+				srv.spawn(id, st)
 			}
 		case frameData:
 			st := reqs[f.streamID]
@@ -401,7 +402,7 @@ func ServeConn(w *sim.World, s tlsmini.Stream, handler Handler) {
 			if f.flags&flagEndStream != 0 {
 				id := f.streamID
 				delete(reqs, f.streamID)
-				w.Go(func() { serveOne(w, s, encTab, id, st, handler) })
+				srv.spawn(id, st)
 			}
 		case frameGoAway:
 			return
@@ -414,8 +415,45 @@ type reqState struct {
 	body    []byte
 }
 
-func serveOne(w *sim.World, s tlsmini.Stream, encTab *hpackTable, id uint32, req *reqState, handler Handler) {
-	respHeaders, respBody := handler(req.headers, req.body)
-	writeFrame(s, frameHeaders, flagEndHeaders, id, encTab.encode(respHeaders))
-	writeFrame(s, frameData, flagEndStream, id, respBody)
+// serverConn carries the per-connection server state shared by all of
+// its response tasks, plus a free list of their argument boxes so the
+// per-request spawn is neither a closure nor a fresh carrier.
+type serverConn struct {
+	w       *sim.World
+	s       tlsmini.Stream
+	encTab  *hpackTable
+	handler Handler
+	free    []*serveJob
+}
+
+type serveJob struct {
+	srv *serverConn
+	id  uint32
+	req *reqState
+}
+
+func (srv *serverConn) spawn(id uint32, req *reqState) {
+	var j *serveJob
+	if n := len(srv.free); n > 0 {
+		j = srv.free[n-1]
+		srv.free = srv.free[:n-1]
+	} else {
+		j = &serveJob{}
+	}
+	j.srv, j.id, j.req = srv, id, req
+	srv.w.GoCall(serveOne, j)
+}
+
+// serveOne is the pre-bound adapter every response task shares. The job
+// box returns to the free list as soon as its fields are read — safe
+// because the world runs one task at a time, so the accept loop cannot
+// reuse it before this task yields.
+func serveOne(v any) {
+	j := v.(*serveJob)
+	srv, id, req := j.srv, j.id, j.req
+	j.srv, j.req = nil, nil
+	srv.free = append(srv.free, j)
+	respHeaders, respBody := srv.handler(req.headers, req.body)
+	writeFrame(srv.s, frameHeaders, flagEndHeaders, id, srv.encTab.encode(respHeaders))
+	writeFrame(srv.s, frameData, flagEndStream, id, respBody)
 }

@@ -370,13 +370,47 @@ type Handler func(headers []Header, body []byte) (respHeaders []Header, respBody
 // streams are served concurrently. It blocks, so call it from its own
 // sim task.
 func ServeConn(w *sim.World, conn *quic.Conn, handler Handler) {
+	srv := &serverConn{handler: handler}
 	for {
 		st, ok := conn.AcceptStream()
 		if !ok {
 			return
 		}
-		w.Go(func() { serveStream(st, handler) })
+		// Per-stream (= per-request) spawn through a pre-bound adapter
+		// and a pooled argument box instead of a fresh closure.
+		var j *streamJob
+		if n := len(srv.free); n > 0 {
+			j = srv.free[n-1]
+			srv.free = srv.free[:n-1]
+		} else {
+			j = &streamJob{}
+		}
+		j.srv, j.st = srv, st
+		w.GoCall(serveStreamJob, j)
 	}
+}
+
+// serverConn holds the handler shared by a connection's request tasks
+// and the free list of their argument boxes.
+type serverConn struct {
+	handler Handler
+	free    []*streamJob
+}
+
+type streamJob struct {
+	srv *serverConn
+	st  *quic.Stream
+}
+
+// serveStreamJob is the shared pre-bound adapter; the box is returned
+// to the free list as soon as its fields are read (the world runs one
+// task at a time, so the accept loop cannot reuse it before then).
+func serveStreamJob(v any) {
+	j := v.(*streamJob)
+	srv, st := j.srv, j.st
+	j.srv, j.st = nil, nil
+	srv.free = append(srv.free, j)
+	serveStream(st, srv.handler)
 }
 
 func serveStream(st *quic.Stream, handler Handler) {

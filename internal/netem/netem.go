@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bytepool"
 	"repro/internal/sim"
 )
 
@@ -145,6 +146,12 @@ type Network struct {
 	arriveFn  func(any)
 	deliverFn func(any)
 
+	// pool is the World's tiered buffer free list. Every payload handed
+	// to Socket.Send is owned by the network (Send's no-reuse contract
+	// has always required that), so drop paths return payloads here and
+	// receivers release them after parsing.
+	pool bytepool.Pool
+
 	// Delivered counts delivered datagrams; Drops counts dropped ones by
 	// cause (see Drops).
 	Delivered int
@@ -235,6 +242,10 @@ func (n *Network) putInflight(fl *inflight) {
 
 // Dropped returns the total dropped-datagram count across all causes.
 func (n *Network) Dropped() int { return n.Drops.Total() }
+
+// Pool returns the network's buffer pool. Transports lease datagram and
+// record buffers here; the pool is single-World and needs no locking.
+func (n *Network) Pool() *bytepool.Pool { return &n.pool }
 
 // SetDefaultPath sets the parameters used for host pairs without an
 // explicit path.
@@ -490,6 +501,7 @@ func (n *Network) send(d Datagram, wire int) {
 	}
 	if len(d.Payload) > mtu {
 		n.Drops.MTU++
+		n.pool.Put(d.Payload)
 		return
 	}
 	loopback := src == dst
@@ -499,11 +511,13 @@ func (n *Network) send(d Datagram, wire int) {
 	if al := n.access[src]; al != nil && !loopback {
 		if !n.lossPass(&al.up, al.prof.Loss, al.prof.Burst) {
 			n.Drops.Loss++
+			n.pool.Put(d.Payload)
 			return
 		}
 		depart, ok := n.serialize(&al.up, al.prof.Up, al.prof.QueueBytes, wire, at)
 		if !ok {
 			n.Drops.Overflow++
+			n.pool.Put(d.Payload)
 			return
 		}
 		at = depart + al.prof.ExtraDelay
@@ -513,11 +527,13 @@ func (n *Network) send(d Datagram, wire int) {
 	ls := n.link(key)
 	if !n.lossPass(ls, p.Loss, p.Burst) {
 		n.Drops.Loss++
+		n.pool.Put(d.Payload)
 		return
 	}
 	depart, ok := n.serialize(ls, p.Bandwidth, p.QueueBytes, wire, at)
 	if !ok {
 		n.Drops.Overflow++
+		n.pool.Put(d.Payload)
 		return
 	}
 	at = depart + p.Delay
@@ -537,12 +553,14 @@ func (n *Network) arrive(fl *inflight) {
 		arrive := n.World.Now()
 		if !n.lossPass(&al.down, al.prof.Loss, al.prof.Burst) {
 			n.Drops.Loss++
+			n.pool.Put(fl.d.Payload)
 			n.putInflight(fl)
 			return
 		}
 		depart, ok := n.serialize(&al.down, al.prof.Down, al.prof.QueueBytes, fl.wire, arrive)
 		if !ok {
 			n.Drops.Overflow++
+			n.pool.Put(fl.d.Payload)
 			n.putInflight(fl)
 			return
 		}
@@ -558,16 +576,20 @@ func (n *Network) deliverInflight(fl *inflight) {
 	n.deliver(d)
 }
 
-// deliver hands a datagram to the destination socket, if any.
+// deliver hands a datagram to the destination socket, if any. Ownership
+// of the payload transfers to the receiver, which releases it to the
+// pool after parsing.
 func (n *Network) deliver(d Datagram) {
 	host, ok := n.hosts[d.Dst.Addr()]
 	if !ok {
 		n.Drops.NoRoute++
+		n.pool.Put(d.Payload)
 		return
 	}
 	sock, ok := host.ports[portKey{d.Proto, d.Dst.Port()}]
 	if !ok {
 		n.Drops.NoRoute++
+		n.pool.Put(d.Payload)
 		return
 	}
 	n.Delivered++
@@ -606,6 +628,10 @@ func (h *Host) World() *sim.World { return h.net.World }
 // per-datagram header size added to byte counters (8 for UDP; 0 for TCP,
 // whose padded segment headers carry their own overhead).
 func (h *Host) Listen(proto Proto, port uint16, overhead int) (*Socket, error) {
+	return h.listen(proto, port, overhead, fmt.Sprintf("%v:%d", h.addr, port))
+}
+
+func (h *Host) listen(proto Proto, port uint16, overhead int, name string) (*Socket, error) {
 	key := portKey{proto, port}
 	if _, ok := h.ports[key]; ok {
 		return nil, fmt.Errorf("netem: %d/port %d already bound on %v", proto, port, h.addr)
@@ -615,7 +641,7 @@ func (h *Host) Listen(proto Proto, port uint16, overhead int) (*Socket, error) {
 		proto:    proto,
 		local:    netip.AddrPortFrom(h.addr, port),
 		overhead: overhead,
-		queue:    sim.NewQueue[Datagram](h.net.World, fmt.Sprintf("%v:%d", h.addr, port)),
+		queue:    sim.NewQueue[Datagram](h.net.World, name),
 	}
 	h.ports[key] = s
 	return s, nil
@@ -632,7 +658,9 @@ func (h *Host) Dial(proto Proto, overhead int) *Socket {
 			h.nextEphemeral = firstEphemeral
 		}
 		if _, ok := h.ports[portKey{proto, port}]; !ok {
-			s, _ := h.Listen(proto, port, overhead)
+			// Ephemeral sockets are created per connection on hot paths;
+			// a static queue name avoids the per-conn fmt.Sprintf.
+			s, _ := h.listen(proto, port, overhead, "ephemeral-sock")
 			return s
 		}
 	}
@@ -659,10 +687,16 @@ type Socket struct {
 // LocalAddr returns the bound address.
 func (s *Socket) LocalAddr() netip.AddrPort { return s.local }
 
-// Send transmits payload to dst. The payload is not copied; callers must
-// not reuse the slice.
+// Pool returns the World-wide buffer pool, for leasing send buffers.
+func (s *Socket) Pool() *bytepool.Pool { return &s.host.net.pool }
+
+// Send transmits payload to dst. Ownership of the payload transfers to
+// the network (it is not copied, and callers must not reuse the slice):
+// the network releases it to the pool on drop, or hands it to the
+// receiving socket, whose reader releases it after parsing.
 func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
 	if s.closed {
+		s.host.net.pool.Put(payload)
 		return
 	}
 	s.TxBytes += len(payload) + s.overhead
@@ -672,6 +706,7 @@ func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
 
 func (s *Socket) deliver(d Datagram) {
 	if s.closed {
+		s.host.net.pool.Put(d.Payload)
 		return
 	}
 	s.RxBytes += len(d.Payload) + s.overhead

@@ -188,3 +188,52 @@ func TestCloseUnbinds(t *testing.T) {
 		t.Errorf("rebind after close failed: %v", err)
 	}
 }
+
+// TestPooledDatagramPathZeroAlloc is the pooled byte path's regression
+// guard: a steady-state UDP echo whose buffers are leased from and
+// returned to the network's byte pool must not allocate per datagram
+// once every pool (buffers, inflight carriers, timer entries, queue
+// rings) is warm.
+func TestPooledDatagramPathZeroAlloc(t *testing.T) {
+	w := sim.NewWorld(1)
+	n := NewNetwork(w)
+	a := n.Host(addr("10.0.0.1"))
+	b := n.Host(addr("10.0.0.2"))
+	n.SetSymmetricPath(a.Addr(), b.Addr(), PathParams{Delay: 200 * time.Microsecond})
+
+	srv, err := b.Listen(ProtoUDP, 53, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Go(func() {
+		for {
+			d, ok := srv.Recv()
+			if !ok {
+				return
+			}
+			reply := append(srv.Pool().Get(len(d.Payload)), d.Payload...)
+			srv.Pool().Put(d.Payload)
+			srv.Send(d.Src, reply)
+		}
+	})
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	cli := a.Dial(ProtoUDP, 8)
+	w.Go(func() {
+		for {
+			cli.Send(srv.LocalAddr(), append(cli.Pool().Get(len(payload)), payload...))
+			d, ok := cli.Recv()
+			if !ok {
+				return
+			}
+			cli.Pool().Put(d.Payload)
+			w.Sleep(time.Millisecond)
+		}
+	})
+	w.RunFor(50 * time.Millisecond) // warm every pool
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunFor(20 * time.Millisecond) // ~20 full round trips
+	})
+	if allocs != 0 {
+		t.Errorf("pooled datagram echo allocated %v objects per 20ms slice, want 0", allocs)
+	}
+}

@@ -163,12 +163,26 @@ type Conn struct {
 
 	// Packet-protection caches: amortize the HKDF expansions and AES key
 	// schedule across packets sealed/opened under the same secret.
-	sealer     tlsmini.AEADCache
-	opener     tlsmini.AEADCache
-	vnVersions []uint32 // set when a Version Negotiation arrived
-	vnHappened bool
-
-	newToken []byte // token received from the server
+	sealer tlsmini.AEADCache
+	opener tlsmini.AEADCache
+	// sendPlans/planFrames are sendInSpace's packet-plan scratch,
+	// reused across calls; appendPacket copies what it retains.
+	sendPlans  []sendPlan
+	planFrames []*frame
+	// padFrame is the reusable PADDING frame appended to Initial
+	// datagrams; it is never ack-eliciting or retransmittable, so no
+	// packet record retains it.
+	padFrame frame
+	// encBuf is the handshake-message encode scratch for
+	// sendCryptoFlight; CRYPTO frames copy their chunks out of it.
+	encBuf []byte
+	// plainScratch is the reusable plaintext assembly buffer for
+	// appendPacket (leased lazily from the socket pool, kept for the
+	// connection's lifetime, returned at teardown).
+	plainScratch []byte
+	vnVersions   []uint32 // set when a Version Negotiation arrived
+	vnHappened   bool
+	newToken     []byte // token received from the server
 
 	hsComplete   bool
 	hsTx, hsRx   int
@@ -181,7 +195,6 @@ type Conn struct {
 	// key schedule advances.
 	undecryptable []storedPacket
 
-	incoming *sim.Queue[netem.Datagram] // server-side demuxed datagrams
 	onClose  func()
 	closed   bool
 	closeErr error
@@ -327,12 +340,11 @@ func (c *Conn) teardown(err error) {
 		}
 		c.dialResult.Resolve(err)
 	}
-	if c.incoming != nil {
-		c.incoming.Close()
-	}
 	if c.owned {
 		c.sock.Close()
 	}
+	c.sock.Pool().Put(c.plainScratch)
+	c.plainScratch = nil
 	if c.onClose != nil {
 		c.onClose()
 	}
@@ -386,7 +398,8 @@ func (c *Conn) sendCryptoFlight(msgs []tlsmini.Message) {
 		default:
 			space = spcApp
 		}
-		enc := tlsmini.EncodeMessage(m)
+		c.encBuf = tlsmini.AppendMessage(c.encBuf[:0], m)
+		enc := c.encBuf
 		sp := c.spaces[space]
 		// Chunk the crypto stream.
 		const chunk = 1000
@@ -420,27 +433,26 @@ func (c *Conn) sendInSpace(space int, frames []*frame) {
 	if c.closed && frames[0].kind != frConnClose {
 		return
 	}
-	type plan struct {
-		space  int
-		frames []*frame
-		plain  int
-	}
-	var plans []plan
-	cur := plan{space: space}
+	plans := c.sendPlans[:0]
+	pf := c.planFrames[:0]
+	cur := sendPlan{}
 	for _, f := range frames {
 		l := frameWireLen(f)
 		if cur.plain > 0 && cur.plain+l > maxPlain {
 			plans = append(plans, cur)
-			cur = plan{space: space}
+			cur = sendPlan{lo: len(pf), hi: len(pf)}
 		}
-		cur.frames = append(cur.frames, f)
+		pf = append(pf, f)
+		cur.hi = len(pf)
 		cur.plain += l
 	}
-	if cur.plain > 0 || len(cur.frames) > 0 {
+	if cur.plain > 0 || cur.hi > cur.lo {
 		plans = append(plans, cur)
 	}
 
-	// Group plans into datagrams.
+	// Group plans into datagrams. The datagram buffer is leased from the
+	// socket pool; sendDatagram transfers its ownership to the network.
+	pool := c.sock.Pool()
 	var dgram []byte
 	hasInitial := false
 	flush := func() {
@@ -458,36 +470,60 @@ func (c *Conn) sendInSpace(space int, frames []*frame) {
 		}
 		last := i == len(plans)-1
 		pad := 0
-		if (p.space == spcInitial || hasInitial) && last {
+		if (space == spcInitial || hasInitial) && last {
 			// Datagrams carrying Initial packets are padded to 1200.
 			pad = maxDatagram - len(dgram) - est
 			if pad < 0 {
 				pad = 0
 			}
 		}
-		raw := c.sealPacket(p.space, p.frames, pad)
-		if p.space == spcInitial {
+		if dgram == nil {
+			dgram = pool.Get(maxDatagram)
+		}
+		dgram = c.appendPacket(dgram, space, pf[p.lo:p.hi], pad)
+		if space == spcInitial {
 			hasInitial = true
 		}
-		dgram = append(dgram, raw...)
 		if len(dgram) >= maxDatagram-80 {
 			flush()
 		}
 	}
 	flush()
+	// A leased buffer that ended up empty (every packet dropped for lack
+	// of keys) goes back to the pool.
+	pool.Put(dgram)
+	c.sendPlans = plans[:0]
+	c.planFrames = pf[:0]
 }
 
-// sealPacket assigns a packet number, seals the frames, and records the
-// packet for loss recovery. pad adds that many PADDING bytes.
-func (c *Conn) sealPacket(space int, frames []*frame, pad int) []byte {
+// sendPlan is one packet's frame range in the planFrames scratch plus
+// its plaintext size.
+type sendPlan struct{ lo, hi, plain int }
+
+func countRetransmittable(frames []*frame) int {
+	n := 0
+	for _, f := range frames {
+		if f.retransmittable() {
+			n++
+		}
+	}
+	return n
+}
+
+// appendPacket assigns a packet number, seals the frames, appends the
+// finished packet to dst, and records it for loss recovery. pad adds
+// that many PADDING bytes. When the space's keys are not yet available
+// the packet is dropped and dst is returned unchanged (the packet
+// number is still consumed, matching RFC-style monotonic numbering).
+func (c *Conn) appendPacket(dst []byte, space int, frames []*frame, pad int) []byte {
 	sp := c.spaces[space]
 	pn := sp.nextPN
 	sp.nextPN++
 
-	if pad > 0 {
-		frames = append(frames, &frame{kind: frPadding, padLen: pad})
+	if c.plainScratch == nil {
+		c.plainScratch = c.sock.Pool().Get(maxDatagram)
 	}
-	var plain []byte
+	plain := c.plainScratch[:0]
 	ackEliciting := false
 	for _, f := range frames {
 		plain = appendFrame(plain, f)
@@ -495,6 +531,13 @@ func (c *Conn) sealPacket(space int, frames []*frame, pad int) []byte {
 			ackEliciting = true
 		}
 	}
+	if pad > 0 {
+		// PADDING is neither ack-eliciting nor retransmittable, so it
+		// can live in a reusable frame outside the frames slice.
+		c.padFrame = frame{kind: frPadding, padLen: pad}
+		plain = appendFrame(plain, &c.padFrame)
+	}
+	c.plainScratch = plain[:0] // keep (possibly grown) scratch for reuse
 
 	var ptype packetType
 	var secret []byte
@@ -520,28 +563,34 @@ func (c *Conn) sealPacket(space int, frames []*frame, pad int) []byte {
 	}
 	if secret == nil {
 		// Keys not available (e.g. 0-RTT without early keys): drop.
-		return nil
+		return dst
 	}
 	var token []byte
 	if ptype == ptInitial && c.isClient {
 		token = c.cfg.Token
 	}
 	sealedLen := len(plain) + tlsmini.AEADOverhead
-	hdr := headerFor(ptype, c.version, c.dcid, c.scid, token, pn, sealedLen)
-	sealed := c.sealer.Seal(secret, pn, plain, hdr)
+	hdrStart := len(dst)
+	dst = appendHeader(dst, ptype, c.version, c.dcid, c.scid, token, pn, sealedLen)
+	// The AAD slice is taken before SealAppend extends dst; its contents
+	// stay valid even if the append reallocates.
+	dst = c.sealer.SealAppend(dst, secret, pn, plain, dst[hdrStart:])
 
 	// Record retransmittable content.
 	var keep []*frame
-	for _, f := range frames {
-		if f.retransmittable() {
-			keep = append(keep, f)
+	if n := countRetransmittable(frames); n > 0 {
+		keep = make([]*frame, 0, n)
+		for _, f := range frames {
+			if f.retransmittable() {
+				keep = append(keep, f)
+			}
 		}
 	}
 	sp.sent[pn] = &sentPacket{frames: keep, timeSent: c.w.Now(), ackEliciting: ackEliciting}
 	if ackEliciting {
 		c.armPTO()
 	}
-	return append(hdr, sealed...)
+	return dst
 }
 
 // sendDatagram transmits raw, honouring the server's anti-amplification
@@ -593,8 +642,10 @@ func (c *Conn) handleDatagram(d netem.Datagram) {
 			return
 		}
 		if !c.processPacket(p, b[off:total], aad) && len(c.undecryptable) < 32 {
+			// Buffered past the datagram's pooled lifetime: copy every
+			// field that aliases the datagram buffer.
 			c.undecryptable = append(c.undecryptable, storedPacket{
-				p:      p,
+				p:      p.retained(),
 				sealed: append([]byte(nil), b[off:total]...),
 				aad:    append([]byte(nil), aad...),
 			})
@@ -954,7 +1005,10 @@ func (c *Conn) onPTO() {
 	c.armPTO()
 }
 
-// recvLoop drives a connection from its datagram source.
+// recvLoopClient drives a dialed connection from its own socket. The
+// datagram buffer is released once handleDatagram returns: anything the
+// connection keeps from it (buffered undecryptable packets, adopted
+// connection IDs) has been copied by then.
 func (c *Conn) recvLoopClient() {
 	for {
 		d, ok := c.sock.Recv()
@@ -962,19 +1016,7 @@ func (c *Conn) recvLoopClient() {
 			return
 		}
 		c.handleDatagram(d)
-		if c.closed {
-			return
-		}
-	}
-}
-
-func (c *Conn) recvLoopServer() {
-	for {
-		d, ok := c.incoming.Pop()
-		if !ok {
-			return
-		}
-		c.handleDatagram(d)
+		c.sock.Pool().Put(d.Payload)
 		if c.closed {
 			return
 		}

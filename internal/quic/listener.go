@@ -128,43 +128,50 @@ func (l *Listener) demux() {
 		if !ok {
 			return
 		}
-		if conn, ok := l.conns[d.Src]; ok {
-			conn.handleDatagram(d)
-			continue
-		}
-		// New connection attempt: must start with a long-header packet.
-		p, _, _, _, err := parseHeader(d.Payload)
-		if err != nil || p.ptype == ptOneRTT {
-			continue
-		}
-		if !versionSupported(l.cfg.versions(), p.version) {
-			vn := encodeVersionNegotiation(p.scid, p.dcid, l.cfg.versions())
-			l.sock.Send(d.Src, vn)
-			continue
-		}
-		if p.ptype != ptInitial && p.ptype != ptZeroRTT {
-			continue
-		}
-		// A 0-RTT packet can outrun its Initial under reordering; it
-		// carries the same original DCID, so the connection can be set
-		// up from it and the packet parks in the undecryptable buffer
-		// until the ClientHello arrives.
-		c := newConn(l.w, l.sock, false, d.Src, false, l.cfg, p.version)
-		c.engine = tlsmini.NewEngine(c.tlsConfig())
-		c.dcid = append([]byte(nil), p.scid...)
-		c.initialClient, c.initialServer = initialSecrets(p.dcid)
-		if len(l.cfg.TokenKey) > 0 && validToken(l.cfg.TokenKey, p.token, d.Src.Addr()) {
-			c.validated = true
-		}
-		src := d.Src
-		c.onClose = func() { delete(l.conns, src) }
-		l.conns[d.Src] = c
-		// Hand the connection to Accept immediately so servers can read
-		// 0-RTT stream data before the handshake completes; failed
-		// handshakes tear the connection (and its streams) down.
-		l.acceptQ.Push(c)
-		c.handleDatagram(d)
+		l.handleOne(d)
+		// Nothing retains the datagram buffer past handleOne (connections
+		// copy what they keep), so it goes back to the pool here.
+		l.sock.Pool().Put(d.Payload)
 	}
+}
+
+func (l *Listener) handleOne(d netem.Datagram) {
+	if conn, ok := l.conns[d.Src]; ok {
+		conn.handleDatagram(d)
+		return
+	}
+	// New connection attempt: must start with a long-header packet.
+	p, _, _, _, err := parseHeader(d.Payload)
+	if err != nil || p.ptype == ptOneRTT {
+		return
+	}
+	if !versionSupported(l.cfg.versions(), p.version) {
+		vn := encodeVersionNegotiation(p.scid, p.dcid, l.cfg.versions())
+		l.sock.Send(d.Src, vn)
+		return
+	}
+	if p.ptype != ptInitial && p.ptype != ptZeroRTT {
+		return
+	}
+	// A 0-RTT packet can outrun its Initial under reordering; it
+	// carries the same original DCID, so the connection can be set
+	// up from it and the packet parks in the undecryptable buffer
+	// until the ClientHello arrives.
+	c := newConn(l.w, l.sock, false, d.Src, false, l.cfg, p.version)
+	c.engine = tlsmini.NewEngine(c.tlsConfig())
+	c.dcid = append([]byte(nil), p.scid...)
+	c.initialClient, c.initialServer = initialSecrets(p.dcid)
+	if len(l.cfg.TokenKey) > 0 && validToken(l.cfg.TokenKey, p.token, d.Src.Addr()) {
+		c.validated = true
+	}
+	src := d.Src
+	c.onClose = func() { delete(l.conns, src) }
+	l.conns[d.Src] = c
+	// Hand the connection to Accept immediately so servers can read
+	// 0-RTT stream data before the handshake completes; failed
+	// handshakes tear the connection (and its streams) down.
+	l.acceptQ.Push(c)
+	c.handleDatagram(d)
 }
 
 func versionSupported(set []uint32, v uint32) bool {

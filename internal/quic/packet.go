@@ -1,11 +1,11 @@
 package quic
 
 import (
-	"crypto/hmac"
-	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/tlsmini"
 )
 
 // Supported wire versions. The drafts are feature equivalent to v1 in
@@ -91,17 +91,25 @@ type packet struct {
 	versions []uint32 // Version Negotiation only
 }
 
-// headerFor builds the unprotected header bytes for a packet about to be
-// sealed; the caller appends the sealed payload.
-func headerFor(t packetType, version uint32, dcid, scid, token []byte, pn uint64, payloadLen int) []byte {
+// retained returns a copy of p whose connection ID and token fields no
+// longer alias the datagram buffer, for packets buffered past the
+// datagram's pooled lifetime.
+func (p packet) retained() packet {
+	p.dcid = append([]byte(nil), p.dcid...)
+	p.scid = append([]byte(nil), p.scid...)
+	p.token = append([]byte(nil), p.token...)
+	return p
+}
+
+// appendHeader appends the unprotected header bytes for a packet about
+// to be sealed; the caller appends the sealed payload after it.
+func appendHeader(b []byte, t packetType, version uint32, dcid, scid, token []byte, pn uint64, payloadLen int) []byte {
 	if t == ptOneRTT {
-		b := make([]byte, 0, 1+cidLen+pnLen)
 		b = append(b, 0x40)
 		b = append(b, dcid...)
 		b = binary.BigEndian.AppendUint32(b, uint32(pn))
 		return b
 	}
-	b := make([]byte, 0, 64)
 	b = append(b, 0x80|byte(t)<<4|(pnLen-1))
 	b = binary.BigEndian.AppendUint32(b, version)
 	b = append(b, byte(len(dcid)))
@@ -138,6 +146,11 @@ var errPacket = errors.New("quic: malformed packet")
 // returns the header fields, the offset where the protected payload
 // starts, the total length of this packet within the datagram, and the
 // header bytes (AAD).
+//
+// The returned connection IDs, token, and AAD alias b — the datagram
+// buffer, which is released back to the pool after processing. Callers
+// that retain any of them past the datagram's lifetime must copy
+// (packet.retained for the ID fields).
 func parseHeader(b []byte) (p packet, payloadOff, total int, aad []byte, err error) {
 	if len(b) < 1 {
 		return p, 0, 0, nil, errPacket
@@ -149,7 +162,7 @@ func parseHeader(b []byte) (p packet, payloadOff, total int, aad []byte, err err
 			return p, 0, 0, nil, errPacket
 		}
 		p.ptype = ptOneRTT
-		p.dcid = append([]byte(nil), b[1:1+cidLen]...)
+		p.dcid = b[1 : 1+cidLen]
 		p.pn = uint64(binary.BigEndian.Uint32(b[1+cidLen : 1+cidLen+pnLen]))
 		off := 1 + cidLen + pnLen
 		return p, off, len(b), b[:off], nil
@@ -164,14 +177,14 @@ func parseHeader(b []byte) (p packet, payloadOff, total int, aad []byte, err err
 	if len(b) < i+dl+1 {
 		return p, 0, 0, nil, errPacket
 	}
-	p.dcid = append([]byte(nil), b[i:i+dl]...)
+	p.dcid = b[i : i+dl]
 	i += dl
 	sl := int(b[i])
 	i++
 	if len(b) < i+sl {
 		return p, 0, 0, nil, errPacket
 	}
-	p.scid = append([]byte(nil), b[i:i+sl]...)
+	p.scid = b[i : i+sl]
 	i += sl
 	if p.version == 0 {
 		// Version Negotiation: remainder is a version list.
@@ -193,7 +206,7 @@ func parseHeader(b []byte) (p packet, payloadOff, total int, aad []byte, err err
 		if len(b) < i+int(tl) {
 			return p, 0, 0, nil, errPacket
 		}
-		p.token = append([]byte(nil), b[i:i+int(tl)]...)
+		p.token = b[i : i+int(tl)]
 		i += int(tl)
 	}
 	length, n, err := readVarint(b[i:])
@@ -221,14 +234,17 @@ func initialSecrets(dcid []byte) (client, server []byte) {
 }
 
 func hmacSHA256(key, data []byte) []byte {
-	m := hmac.New(sha256.New, key)
-	m.Write(data)
-	return m.Sum(nil)
+	s := tlsmini.HMACShort(key, data, nil)
+	out := make([]byte, len(s))
+	copy(out, s[:])
+	return out
 }
 
+var expandCounterOne = []byte{1}
+
 func expandLabel(prk []byte, label string) []byte {
-	m := hmac.New(sha256.New, prk)
-	m.Write([]byte(label))
-	m.Write([]byte{1})
-	return m.Sum(nil)
+	s := tlsmini.HMACShort(prk, []byte(label), expandCounterOne)
+	out := make([]byte, len(s))
+	copy(out, s[:])
+	return out
 }

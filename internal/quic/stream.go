@@ -2,7 +2,6 @@ package quic
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/sim"
 )
@@ -30,7 +29,9 @@ func newStream(c *Conn, id uint64) *Stream {
 		conn:        c,
 		id:          id,
 		recvPending: make(map[uint64]*frame),
-		readQ:       sim.NewQueue[[]byte](c.w, fmt.Sprintf("quic-stream-%d", id)),
+		// Static name: the id only matters in deadlock diagnostics, and
+		// formatting it would allocate per stream (= per DNS query).
+		readQ: sim.NewQueue[[]byte](c.w, "quic-stream"),
 	}
 }
 

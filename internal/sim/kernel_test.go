@@ -303,3 +303,52 @@ func TestQueueSteadyStateZeroAlloc(t *testing.T) {
 		t.Errorf("queue push/pop steady state allocated %v objects, want 0", allocs)
 	}
 }
+
+// TestGoCallFreeListZeroAlloc guards the pre-bound callback pattern the
+// protocol layers use for steady-state spawns: a package-level adapter
+// func plus a free list of job boxes. GoCall with a top-level func and a
+// recycled box must not allocate.
+type ktJob struct {
+	free *[]*ktJob
+	n    *int
+}
+
+func ktServe(v any) {
+	j := v.(*ktJob)
+	free, n := j.free, j.n
+	j.free, j.n = nil, nil
+	*free = append(*free, j) // box returns before the "work"
+	*n++
+}
+
+func TestGoCallFreeListZeroAlloc(t *testing.T) {
+	w := NewWorld(1)
+	var free []*ktJob
+	var served int
+	w.Go(func() {
+		for {
+			for i := 0; i < 50; i++ {
+				var j *ktJob
+				if k := len(free); k > 0 {
+					j, free = free[k-1], free[:k-1]
+				} else {
+					j = &ktJob{}
+				}
+				j.free, j.n = &free, &served
+				w.GoCall(ktServe, j)
+			}
+			w.Sleep(time.Millisecond)
+		}
+	})
+	w.RunFor(10 * time.Millisecond)
+	before := served
+	allocs := testing.AllocsPerRun(10, func() {
+		w.RunFor(10 * time.Millisecond) // ~500 spawn cycles
+	})
+	if allocs != 0 {
+		t.Errorf("GoCall free-list spawns allocated %v objects, want 0", allocs)
+	}
+	if served <= before {
+		t.Fatalf("no jobs served during measurement window")
+	}
+}

@@ -58,18 +58,30 @@ type segment struct {
 	payload []byte
 }
 
-func encodeSegment(s segment) []byte {
+// appendSegment encodes s into b, which must be an empty slice with
+// enough capacity (wire buffers are leased from the socket's pool, so
+// per-segment encodes allocate nothing).
+func appendSegment(b []byte, s segment) []byte {
 	n := headerLen
 	if s.flags&flagSYN != 0 {
 		n = synHeaderLen
 	}
-	b := make([]byte, n+len(s.payload))
+	b = b[:n+len(s.payload)]
+	clear(b[:n]) // header padding must not leak pooled bytes
 	b[0] = s.flags
 	binary.BigEndian.PutUint32(b[1:5], s.seq)
 	binary.BigEndian.PutUint32(b[5:9], s.ack)
 	b[9] = byte(n) // header length marker
 	copy(b[n:], s.payload)
 	return b
+}
+
+// wireSize is the encoded size of s.
+func wireSize(s segment) int {
+	if s.flags&flagSYN != 0 {
+		return synHeaderLen + len(s.payload)
+	}
+	return headerLen + len(s.payload)
 }
 
 func decodeSegment(b []byte) (segment, error) {
@@ -160,13 +172,15 @@ func Dial(host *netem.Host, raddr netip.AddrPort) (*Conn, error) {
 			sock.Close()
 			return nil, errors.New("tcpsim: connect timeout")
 		}
-		sock.Send(raddr, encodeSegment(segment{flags: flagSYN, seq: 0}))
+		syn := segment{flags: flagSYN, seq: 0}
+		sock.Send(raddr, appendSegment(sock.Pool().Get(wireSize(syn)), syn))
 		d, ok := sock.RecvTimeout(rto)
 		if !ok {
 			rto *= 2
 			continue
 		}
 		seg, err := decodeSegment(d.Payload)
+		sock.Pool().Put(d.Payload)
 		if err != nil || seg.flags&(flagSYN|flagACK) != flagSYN|flagACK {
 			continue
 		}
@@ -175,7 +189,8 @@ func Dial(host *netem.Host, raddr netip.AddrPort) (*Conn, error) {
 	}
 	c.sndUna = 1
 	// Third handshake segment: pure ACK.
-	sock.Send(raddr, encodeSegment(segment{flags: flagACK, seq: c.sndNxt, ack: c.rcvNxt}))
+	ack := segment{flags: flagACK, seq: c.sndNxt, ack: c.rcvNxt}
+	sock.Send(raddr, appendSegment(sock.Pool().Get(wireSize(ack)), ack))
 	w.Go(c.clientLoop)
 	return c, nil
 }
@@ -188,6 +203,7 @@ func (c *Conn) clientLoop() {
 			return
 		}
 		seg, err := decodeSegment(d.Payload)
+		c.sock.Pool().Put(d.Payload)
 		if err != nil {
 			continue
 		}
@@ -304,7 +320,7 @@ func (c *Conn) sendAck() {
 }
 
 func (c *Conn) send(s segment) {
-	c.sock.Send(c.peer, encodeSegment(s))
+	c.sock.Send(c.peer, appendSegment(c.sock.Pool().Get(wireSize(s)), s))
 }
 
 // Write queues p for reliable delivery, segmenting at MSS.
@@ -444,6 +460,7 @@ func (l *Listener) demux() {
 			return
 		}
 		seg, err := decodeSegment(d.Payload)
+		l.sock.Pool().Put(d.Payload)
 		if err != nil {
 			continue
 		}
@@ -457,7 +474,8 @@ func (l *Listener) demux() {
 			conn.rcvNxt = seg.seq + 1
 			conn.sndNxt = 1
 			conn.sndUna = 0
-			conn.incoming = sim.NewQueue[segment](l.w, fmt.Sprintf("tcp-in %v", d.Src))
+			// Static queue name: conns are created per query on hot paths.
+			conn.incoming = sim.NewQueue[segment](l.w, "tcp-in")
 			src := d.Src
 			conn.onClose = func() { delete(l.conns, src) }
 			l.conns[d.Src] = conn

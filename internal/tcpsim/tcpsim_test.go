@@ -314,7 +314,7 @@ func TestListenerMapCleanupAfterClose(t *testing.T) {
 
 func TestSegmentEncodeDecode(t *testing.T) {
 	s := segment{flags: flagACK, seq: 1234, ack: 5678, payload: []byte("data")}
-	got, err := decodeSegment(encodeSegment(s))
+	got, err := decodeSegment(appendSegment(make([]byte, 0, wireSize(s)), s))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package tlsmini
 
 import (
-	"crypto/ed25519"
 	"math/rand"
 	"time"
 )
@@ -10,11 +9,13 @@ import (
 // full certificate chain as sent on the wire: real chains observed at
 // public resolvers range from ~800 bytes to several kilobytes, which is
 // what makes QUIC's traffic-amplification limit bite for some resolvers
-// (paper §3.1).
+// (paper §3.1). Keys follow the Ed25519 layout (32-byte public key,
+// seed||public 64-byte private key, 64-byte signatures) but are the
+// simulation stand-ins of simcrypto.go.
 type Identity struct {
 	Name       string
-	PublicKey  ed25519.PublicKey
-	PrivateKey ed25519.PrivateKey
+	PublicKey  []byte
+	PrivateKey []byte
 	Chain      []byte
 }
 
@@ -22,19 +23,24 @@ type Identity struct {
 // given total size. chainSize values below the minimal encoding are
 // clamped.
 func GenerateIdentity(rng *rand.Rand, name string, chainSize int) *Identity {
-	pub, priv, err := ed25519.GenerateKey(rng)
-	if err != nil {
-		panic(err) // rng never fails
-	}
-	minSize := len(name) + ed25519.PublicKeySize + ed25519.SignatureSize + 16
+	// Draw exactly 32 bytes, matching what ed25519.GenerateKey consumed
+	// from rng in earlier versions, to keep the deterministic stream
+	// aligned.
+	var seed [32]byte
+	rng.Read(seed[:])
+	pub := simSigKey(seed)
+	priv := make([]byte, 64)
+	copy(priv, seed[:])
+	copy(priv[32:], pub[:])
+	minSize := len(name) + sigPublicKeySize + sigSize + 16
 	if chainSize < minSize {
 		chainSize = minSize
 	}
 	chain := make([]byte, chainSize)
 	copy(chain, name)
-	copy(chain[len(name):], pub)
+	copy(chain[len(name):], pub[:])
 	rng.Read(chain[len(name)+len(pub):])
-	return &Identity{Name: name, PublicKey: pub, PrivateKey: priv, Chain: chain}
+	return &Identity{Name: name, PublicKey: priv[32:], PrivateKey: priv, Chain: chain}
 }
 
 // Session is a resumable TLS session as seen by the client.

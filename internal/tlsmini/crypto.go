@@ -1,6 +1,8 @@
-// Package tlsmini implements a TLS 1.3-shaped handshake protocol with
-// real cryptography (X25519 key exchange, HKDF-SHA256 key schedule,
-// AES-128-GCM record protection, Ed25519 certificate signatures).
+// Package tlsmini implements a TLS 1.3-shaped handshake protocol with a
+// real HKDF-SHA256 key schedule and AES-128-GCM record protection, over
+// simulation stand-ins for the public-key operations (hash-based key
+// exchange and signatures with X25519/Ed25519 wire sizes; see
+// simcrypto.go for why and for the security caveat).
 //
 // The protocol self-interoperates within this repository; it is not wire
 // compatible with RFC 8446, but it preserves everything the paper
@@ -21,6 +23,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"io"
 )
 
 const hashLen = sha256.Size
@@ -40,7 +43,9 @@ func hmacShort(key, p1, p2, p3 []byte) (out [hashLen]byte) {
 		m.Write(p1)
 		m.Write(p2)
 		m.Write(p3)
-		m.Sum(out[:0])
+		// Summing into out[:0] would make the named return escape to the
+		// heap on every call, including the common stack path below.
+		copy(out[:], m.Sum(nil))
 		return out
 	}
 	var buf [224]byte // 64-byte padded key block + up to 160 bytes of message
@@ -64,16 +69,61 @@ func hmacShort(key, p1, p2, p3 []byte) (out [hashLen]byte) {
 
 // hkdfExtract implements HKDF-Extract with SHA-256.
 func hkdfExtract(salt, ikm []byte) []byte {
+	s := hkdfExtractShort(salt, ikm)
+	out := make([]byte, hashLen)
+	copy(out, s[:])
+	return out
+}
+
+// hkdfExtractShort is hkdfExtract returned by value, for callers that
+// use the pseudo-random key transiently (binder-key chains).
+func hkdfExtractShort(salt, ikm []byte) [hashLen]byte {
 	if salt == nil {
 		salt = zeroHash[:]
 	}
 	if ikm == nil {
 		ikm = zeroHash[:]
 	}
-	s := hmacShort(salt, ikm, nil, nil)
-	out := make([]byte, hashLen)
-	copy(out, s[:])
-	return out
+	return hmacShort(salt, ikm, nil, nil)
+}
+
+// expandBlock computes one HKDF-Expand output block,
+// HMAC(prk, prev || label1 || label2 || context || counter), entirely on
+// the stack for the short inputs of the TLS key schedule. Taking the
+// label pieces as strings avoids both the "tls13 "+label concatenation
+// and the []byte(info) conversion that a generic info parameter costs.
+func expandBlock(prk, prev []byte, label1, label2 string, context []byte, counter byte) (out [hashLen]byte) {
+	total := len(prev) + len(label1) + len(label2) + len(context) + 1
+	if len(prk) > 64 || total > 160 {
+		m := hmac.New(sha256.New, prk)
+		m.Write(prev)
+		io.WriteString(m, label1)
+		io.WriteString(m, label2)
+		m.Write(context)
+		m.Write([]byte{counter})
+		copy(out[:], m.Sum(nil))
+		return out
+	}
+	var buf [224]byte // 64-byte padded key block + up to 160 bytes of message
+	for i := range prk {
+		buf[i] = prk[i] ^ 0x36
+	}
+	for i := len(prk); i < 64; i++ {
+		buf[i] = 0x36
+	}
+	n := 64
+	n += copy(buf[n:], prev)
+	n += copy(buf[n:], label1)
+	n += copy(buf[n:], label2)
+	n += copy(buf[n:], context)
+	buf[n] = counter
+	n++
+	inner := sha256.Sum256(buf[:n])
+	for i := 0; i < 64; i++ {
+		buf[i] ^= 0x36 ^ 0x5c // ipad block -> opad block
+	}
+	copy(buf[64:], inner[:])
+	return sha256.Sum256(buf[:64+hashLen])
 }
 
 // hkdfExpand implements HKDF-Expand with SHA-256.
@@ -82,25 +132,48 @@ func hkdfExpand(prk []byte, info string, length int) []byte {
 	out := make([]byte, 0, blocks*hashLen)
 	var block [hashLen]byte
 	var prev []byte
-	counter := [1]byte{1}
+	counter := byte(1)
 	for len(out) < length {
-		block = hmacShort(prk, prev, []byte(info), counter[:])
+		block = expandBlock(prk, prev, info, "", nil, counter)
 		prev = block[:]
 		out = append(out, block[:]...)
-		counter[0]++
+		counter++
 	}
 	return out[:length]
 }
 
 // deriveSecret is the RFC 8446 Derive-Secret analogue: expand with a
-// label bound to a transcript hash.
+// label bound to a transcript hash. Output is always one hash block.
 func deriveSecret(secret []byte, label string, transcriptHash []byte) []byte {
-	return hkdfExpand(secret, "tls13 "+label+string(transcriptHash), hashLen)
+	block := deriveSecretShort(secret, label, transcriptHash)
+	out := make([]byte, hashLen)
+	copy(out, block[:])
+	return out
 }
 
-// trafficKeys derives the AEAD key and IV from a traffic secret.
+// deriveSecretShort is deriveSecret returned by value — no heap output.
+func deriveSecretShort(secret []byte, label string, transcriptHash []byte) [hashLen]byte {
+	return expandBlock(secret, nil, "tls13 ", label, transcriptHash, 1)
+}
+
+// expandShort is hkdfExpand for outputs of at most one hash block,
+// returned by value: the whole computation stays on the stack. Callers
+// that only use the result transiently (finished keys, binder keys)
+// avoid hkdfExpand's per-call output allocation.
+func expandShort(prk []byte, info string) [hashLen]byte {
+	return expandBlock(prk, nil, info, "", nil, 1)
+}
+
+// trafficKeys derives the AEAD key and IV from a traffic secret. Both
+// land in one backing array — the pair is always derived and retained
+// together (and cached per secret by AEADCache).
 func trafficKeys(secret []byte) (key, iv []byte) {
-	return hkdfExpand(secret, "key", 16), hkdfExpand(secret, "iv", 12)
+	out := make([]byte, 28)
+	k := expandShort(secret, "key")
+	copy(out[:16], k[:])
+	i := expandShort(secret, "iv")
+	copy(out[16:], i[:])
+	return out[:16:16], out[16:]
 }
 
 // aeadSeal encrypts plaintext with AES-128-GCM using the per-record nonce
@@ -187,6 +260,21 @@ func (c *AEADCache) Open(secret []byte, seq uint64, ciphertext, aad []byte) ([]b
 	aead, iv := c.get(secret)
 	nonce := nonceFor(iv, seq)
 	return aead.Open(nil, nonce[:], ciphertext, aad)
+}
+
+// SealAppend appends the sealed record to dst, reusing dst's capacity;
+// callers lease dst from a pool to keep record protection alloc-free.
+func (c *AEADCache) SealAppend(dst, secret []byte, seq uint64, plaintext, aad []byte) []byte {
+	aead, iv := c.get(secret)
+	nonce := nonceFor(iv, seq)
+	return aead.Seal(dst, nonce[:], plaintext, aad)
+}
+
+// OpenAppend appends the plaintext to dst, reusing dst's capacity.
+func (c *AEADCache) OpenAppend(dst, secret []byte, seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	aead, iv := c.get(secret)
+	nonce := nonceFor(iv, seq)
+	return aead.Open(dst, nonce[:], ciphertext, aad)
 }
 
 // hmacSum computes HMAC-SHA256(key, data).

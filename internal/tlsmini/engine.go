@@ -1,8 +1,6 @@
 package tlsmini
 
 import (
-	"crypto/ecdh"
-	"crypto/ed25519"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -72,8 +70,10 @@ type Engine struct {
 
 	state      engineState
 	transcript hash.Hash
+	thBuf      []byte // transcriptHash output, reused across calls
+	encBuf     []byte // hashMsg encode scratch, reused across calls
 
-	ecdhPriv *ecdh.PrivateKey
+	dhPriv [32]byte
 
 	version      Version
 	alpn         string
@@ -82,11 +82,15 @@ type Engine struct {
 	earlyOffered bool
 	earlyAccept  bool
 
-	earlySecret  []byte
-	hsSecret     []byte
-	masterSecret []byte
+	earlySecret  [hashLen]byte
+	hsSecret     [hashLen]byte
+	masterSecret [hashLen]byte
+	hasMaster    bool
 
-	secrets map[secretKey][]byte
+	// secrets holds the traffic secrets inline, indexed by
+	// (epoch, direction): no per-secret heap slices, no map.
+	secrets   [secretSlots][hashLen]byte
+	secretSet [secretSlots]bool
 
 	peerIdentityName string
 	peerCertKey      []byte       // server public key (client side)
@@ -94,9 +98,15 @@ type Engine struct {
 	err              error
 }
 
-type secretKey struct {
-	epoch  Epoch
-	client bool
+// secretSlots is (number of epochs) x (two directions).
+const secretSlots = 8
+
+func secretIdx(epoch Epoch, client bool) int {
+	i := int(epoch) * 2
+	if client {
+		i++
+	}
+	return i
 }
 
 type engineState int
@@ -123,7 +133,6 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:        cfg,
 		transcript: sha256.New(),
-		secrets:    make(map[secretKey][]byte),
 	}
 	if cfg.IsClient {
 		e.state = stStart
@@ -167,40 +176,42 @@ func (e *Engine) PeerName() string { return e.peerIdentityName }
 // TrafficSecret returns the traffic secret for an epoch and direction
 // (client=true for client-to-server). It returns nil if not yet derived.
 func (e *Engine) TrafficSecret(epoch Epoch, client bool) []byte {
-	return e.secrets[secretKey{epoch, client}]
+	i := secretIdx(epoch, client)
+	if !e.secretSet[i] {
+		return nil
+	}
+	return e.secrets[i][:]
 }
 
-func (e *Engine) hashMsg(m Message) []byte {
-	enc := EncodeMessage(m)
-	e.transcript.Write(enc)
-	return enc
+func (e *Engine) setSecret(epoch Epoch, client bool, v [hashLen]byte) {
+	i := secretIdx(epoch, client)
+	e.secrets[i] = v
+	e.secretSet[i] = true
 }
 
-func (e *Engine) transcriptHash() []byte { return e.transcript.Sum(nil) }
+func (e *Engine) hashMsg(m Message) {
+	e.encBuf = AppendMessage(e.encBuf[:0], m)
+	e.transcript.Write(e.encBuf)
+}
+
+// transcriptHash returns the running transcript hash in a buffer reused
+// across calls; every caller consumes the bytes before the next call.
+func (e *Engine) transcriptHash() []byte {
+	e.thBuf = e.transcript.Sum(e.thBuf[:0])
+	return e.thBuf
+}
 
 func (e *Engine) genKeyShare() [32]byte {
-	// ecdh.GenerateKey draws from the system DRBG regardless of the
-	// reader passed to it (Go 1.24 FIPS 140-3 rework), which would make
-	// handshakes unreproducible. Draw the X25519 scalar from the
-	// deterministic stream instead; the curve clamps it during ECDH.
-	var scalar [32]byte
-	e.cfg.Rand.Read(scalar[:])
-	priv, err := ecdh.X25519().NewPrivateKey(scalar[:])
-	if err != nil {
-		panic(err)
-	}
-	e.ecdhPriv = priv
-	var pub [32]byte
-	copy(pub[:], priv.PublicKey().Bytes())
-	return pub
+	// The 32-byte draw from the deterministic stream is load-bearing: it
+	// matches the X25519 scalar draw of earlier versions byte for byte,
+	// so every downstream random value (ticket bytes, chain padding,
+	// netem jitter) stays on the same sequence.
+	e.cfg.Rand.Read(e.dhPriv[:])
+	return simDHPub(e.dhPriv)
 }
 
-func (e *Engine) sharedSecret(peerPub [32]byte) ([]byte, error) {
-	pub, err := ecdh.X25519().NewPublicKey(peerPub[:])
-	if err != nil {
-		return nil, err
-	}
-	return e.ecdhPriv.ECDH(pub)
+func (e *Engine) sharedSecret(peerPub [32]byte) [32]byte {
+	return simDHShared(e.dhPriv, peerPub)
 }
 
 // Start produces the client's first flight. For servers it is a no-op.
@@ -225,8 +236,10 @@ func (e *Engine) Start() ([]Message, error) {
 			e.offeredPSK = s
 			ch.PSKTicket = s.Ticket
 			psk = s.Secret
-			binderKey := hkdfExpand(hkdfExtract(nil, psk), "binder", hashLen)
-			copy(ch.PSKBinder[:], hmacSum(binderKey, s.Ticket))
+			es := hkdfExtractShort(nil, psk)
+			binderKey := expandShort(es[:], "binder")
+			mac := hmacShort(binderKey[:], s.Ticket, nil, nil)
+			copy(ch.PSKBinder[:], mac[:])
 			if e.cfg.OfferEarlyData && s.EarlyData {
 				ch.EarlyData = true
 				e.earlyOffered = true
@@ -234,13 +247,12 @@ func (e *Engine) Start() ([]Message, error) {
 			e.peerIdentityName = s.ServerName
 		}
 	}
-	e.earlySecret = hkdfExtract(nil, psk)
+	e.earlySecret = hkdfExtractShort(nil, psk)
 
 	m := Message{Type: TypeClientHello, Epoch: EpochInitial, Body: ch}
 	e.hashMsg(m)
 	if e.earlyOffered {
-		early := deriveSecret(e.earlySecret, "c e traffic", e.transcriptHash())
-		e.secrets[secretKey{EpochEarly, true}] = early
+		e.setSecret(EpochEarly, true, deriveSecretShort(e.earlySecret[:], "c e traffic", e.transcriptHash()))
 	}
 	e.state = stClientWaitSH
 	return []Message{m}, nil
@@ -274,14 +286,11 @@ func (e *Engine) handleClient(m Message) ([]Message, error) {
 		e.pskAccepted = sh.PSKAccepted
 		if !e.pskAccepted {
 			// Server declined the PSK; restart the schedule without it.
-			e.earlySecret = hkdfExtract(nil, nil)
+			e.earlySecret = hkdfExtractShort(nil, nil)
 			e.earlyAccept = false
 		}
-		shared, err := e.sharedSecret(sh.KeyShare)
-		if err != nil {
-			return nil, e.fail(err)
-		}
-		e.deriveHandshakeSecrets(shared)
+		shared := e.sharedSecret(sh.KeyShare)
+		e.deriveHandshakeSecrets(shared[:])
 		e.state = stClientWaitEE
 		return nil, nil
 
@@ -320,8 +329,7 @@ func (e *Engine) handleClient(m Message) ([]Message, error) {
 			return nil, e.fail(fmt.Errorf("tlsmini: expected CertificateVerify, got %d", m.Type))
 		}
 		// Signature covers the transcript up to (excluding) this message.
-		if len(e.peerCertKey) != ed25519.PublicKeySize ||
-			!ed25519.Verify(ed25519.PublicKey(e.peerCertKey), e.transcriptHash(), cv.Signature) {
+		if !simVerify(e.peerCertKey, e.transcriptHash(), cv.Signature) {
 			return nil, e.fail(errors.New("tlsmini: certificate verification failed"))
 		}
 		e.hashMsg(m)
@@ -333,20 +341,21 @@ func (e *Engine) handleClient(m Message) ([]Message, error) {
 		if !ok {
 			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
 		}
-		serverHS := e.secrets[secretKey{EpochHandshake, false}]
-		finKey := hkdfExpand(serverHS, "finished", hashLen)
-		want := hmacSum(finKey, e.transcriptHash())
-		if !hmacEqual(want, fin.VerifyData[:]) {
+		serverHS := e.TrafficSecret(EpochHandshake, false)
+		finKey := expandShort(serverHS, "finished")
+		want := hmacShort(finKey[:], e.transcriptHash(), nil, nil)
+		if !hmacEqual(want[:], fin.VerifyData[:]) {
 			return nil, e.fail(errors.New("tlsmini: server Finished verification failed"))
 		}
 		e.hashMsg(m)
 		e.deriveAppSecrets()
 
 		// Client Finished.
-		clientHS := e.secrets[secretKey{EpochHandshake, true}]
-		cFinKey := hkdfExpand(clientHS, "finished", hashLen)
+		clientHS := e.TrafficSecret(EpochHandshake, true)
+		cFinKey := expandShort(clientHS, "finished")
 		cfin := &Finished{}
-		copy(cfin.VerifyData[:], hmacSum(cFinKey, e.transcriptHash()))
+		cmac := hmacShort(cFinKey[:], e.transcriptHash(), nil, nil)
+		copy(cfin.VerifyData[:], cmac[:])
 		out := Message{Type: TypeFinished, Epoch: EpochHandshake, Body: cfin}
 		e.hashMsg(out)
 		e.state = stDone
@@ -370,11 +379,13 @@ func (e *Engine) handleClient(m Message) ([]Message, error) {
 		}
 		e.hashMsg(m)
 		cke := &ClientKeyExchange{}
-		copy(cke.KeyShare[:], e.ecdhPriv.PublicKey().Bytes())
+		cke.KeyShare = simDHPub(e.dhPriv)
 		out1 := Message{Type: TypeClientKeyExchange, Epoch: EpochInitial, Body: cke}
 		e.hashMsg(out1)
 		fin := &Finished{}
-		copy(fin.VerifyData[:], hmacSum(e.legacyKey(), e.transcriptHash()))
+		lk := e.legacyKey()
+		lmac := hmacShort(lk[:], e.transcriptHash(), nil, nil)
+		copy(fin.VerifyData[:], lmac[:])
 		out2 := Message{Type: TypeFinished, Epoch: EpochInitial, Body: fin}
 		e.hashMsg(out2)
 		e.state = stClientWaitFin12
@@ -393,7 +404,7 @@ func (e *Engine) handleClient(m Message) ([]Message, error) {
 		if nst, ok := m.Body.(*NewSessionTicket); ok {
 			e.hashMsg(m)
 			if e.cfg.SessionCache != nil {
-				resumption := deriveSecret(e.masterSecret, "res master", nst.Nonce[:])
+				resumption := deriveSecret(e.masterSecret[:], "res master", nst.Nonce[:])
 				e.cfg.SessionCache.Put(&Session{
 					ServerName: e.cfg.ServerName,
 					Ticket:     append([]byte(nil), nst.Ticket...),
@@ -452,9 +463,10 @@ func (e *Engine) handleServer(m Message) ([]Message, error) {
 		if !ok {
 			return nil, e.fail(fmt.Errorf("tlsmini: expected Finished, got %d", m.Type))
 		}
-		clientHS := e.secrets[secretKey{EpochHandshake, true}]
-		finKey := hkdfExpand(clientHS, "finished", hashLen)
-		if !hmacEqual(hmacSum(finKey, e.transcriptHash()), fin.VerifyData[:]) {
+		clientHS := e.TrafficSecret(EpochHandshake, true)
+		finKey := expandShort(clientHS, "finished")
+		mac := hmacShort(finKey[:], e.transcriptHash(), nil, nil)
+		if !hmacEqual(mac[:], fin.VerifyData[:]) {
 			return nil, e.fail(errors.New("tlsmini: client Finished verification failed"))
 		}
 		e.hashMsg(m)
@@ -470,9 +482,9 @@ func (e *Engine) handleServer(m Message) ([]Message, error) {
 			return nil, e.fail(fmt.Errorf("tlsmini: expected ClientKeyExchange, got %d", m.Type))
 		}
 		e.hashMsg(m)
-		if _, err := e.sharedSecret(cke.KeyShare); err != nil {
-			return nil, e.fail(err)
-		}
+		// The TLS 1.2 emulation's Finished key is static (legacyKey), so
+		// the shared secret itself is never consumed; nothing to derive.
+		_ = cke
 		e.state = stServerWaitFin12
 		return nil, nil
 
@@ -482,7 +494,9 @@ func (e *Engine) handleServer(m Message) ([]Message, error) {
 		}
 		e.hashMsg(m)
 		fin := &Finished{}
-		copy(fin.VerifyData[:], hmacSum(e.legacyKey(), e.transcriptHash()))
+		lk := e.legacyKey()
+		lmac := hmacShort(lk[:], e.transcriptHash(), nil, nil)
+		copy(fin.VerifyData[:], lmac[:])
 		out := Message{Type: TypeFinished, Epoch: EpochInitial, Body: fin}
 		e.hashMsg(out)
 		e.deriveLegacyAppSecrets()
@@ -497,8 +511,10 @@ func (e *Engine) serverFlight13(ch *ClientHello) ([]Message, error) {
 	var psk []byte
 	if len(ch.PSKTicket) > 0 && e.cfg.TicketStore != nil {
 		if st := e.cfg.TicketStore.get(ch.PSKTicket, e.cfg.now()); st != nil {
-			binderKey := hkdfExpand(hkdfExtract(nil, st.secret), "binder", hashLen)
-			if hmacEqual(hmacSum(binderKey, ch.PSKTicket), ch.PSKBinder[:]) {
+			es := hkdfExtractShort(nil, st.secret)
+			binderKey := expandShort(es[:], "binder")
+			mac := hmacShort(binderKey[:], ch.PSKTicket, nil, nil)
+			if hmacEqual(mac[:], ch.PSKBinder[:]) {
 				psk = st.secret
 				e.pskAccepted = true
 				if ch.EarlyData && e.cfg.AcceptEarlyData && st.earlyData {
@@ -507,22 +523,19 @@ func (e *Engine) serverFlight13(ch *ClientHello) ([]Message, error) {
 			}
 		}
 	}
-	e.earlySecret = hkdfExtract(nil, psk)
+	e.earlySecret = hkdfExtractShort(nil, psk)
 	if e.earlyAccept {
 		// Early traffic secret binds to the ClientHello transcript.
-		e.secrets[secretKey{EpochEarly, true}] = deriveSecret(e.earlySecret, "c e traffic", e.transcriptHash())
+		e.setSecret(EpochEarly, true, deriveSecretShort(e.earlySecret[:], "c e traffic", e.transcriptHash()))
 	}
 
 	sh := &ServerHello{Version: VersionTLS13, PSKAccepted: e.pskAccepted}
 	e.cfg.Rand.Read(sh.Random[:])
 	sh.KeyShare = e.genKeyShare()
-	shared, err := e.sharedSecret(e.clientHello.KeyShare)
-	if err != nil {
-		return nil, e.fail(err)
-	}
+	shared := e.sharedSecret(e.clientHello.KeyShare)
 	mSH := Message{Type: TypeServerHello, Epoch: EpochInitial, Body: sh}
 	e.hashMsg(mSH)
-	e.deriveHandshakeSecrets(shared)
+	e.deriveHandshakeSecrets(shared[:])
 
 	flight := []Message{mSH}
 	ee := &EncryptedExtensions{ALPN: e.alpn, EarlyDataAccepted: e.earlyAccept}
@@ -541,16 +554,17 @@ func (e *Engine) serverFlight13(ch *ClientHello) ([]Message, error) {
 		}
 		mCert := Message{Type: TypeCertificate, Epoch: EpochHandshake, Body: cert}
 		e.hashMsg(mCert)
-		sig := ed25519.Sign(e.cfg.Identity.PrivateKey, e.transcriptHash())
+		sig := simSign(e.cfg.Identity.PrivateKey, e.transcriptHash())
 		mCV := Message{Type: TypeCertificateVerify, Epoch: EpochHandshake, Body: &CertificateVerify{Signature: sig}}
 		e.hashMsg(mCV)
 		flight = append(flight, mCert, mCV)
 	}
 
-	serverHS := e.secrets[secretKey{EpochHandshake, false}]
-	finKey := hkdfExpand(serverHS, "finished", hashLen)
+	serverHS := e.TrafficSecret(EpochHandshake, false)
+	finKey := expandShort(serverHS, "finished")
 	fin := &Finished{}
-	copy(fin.VerifyData[:], hmacSum(finKey, e.transcriptHash()))
+	fmac := hmacShort(finKey[:], e.transcriptHash(), nil, nil)
+	copy(fin.VerifyData[:], fmac[:])
 	mFin := Message{Type: TypeFinished, Epoch: EpochHandshake, Body: fin}
 	e.hashMsg(mFin)
 	flight = append(flight, mFin)
@@ -592,7 +606,7 @@ func (e *Engine) issueTicket() Message {
 	e.cfg.Rand.Read(ticket)
 	nst.Ticket = ticket
 	nst.AgeAdd = e.cfg.Rand.Uint32()
-	resumption := deriveSecret(e.masterSecret, "res master", nst.Nonce[:])
+	resumption := deriveSecret(e.masterSecret[:], "res master", nst.Nonce[:])
 	e.cfg.TicketStore.put(ticket, &ticketState{
 		secret:    resumption,
 		alpn:      e.alpn,
@@ -606,33 +620,37 @@ func (e *Engine) issueTicket() Message {
 }
 
 func (e *Engine) deriveHandshakeSecrets(shared []byte) {
-	derived := deriveSecret(e.earlySecret, "derived", nil)
-	e.hsSecret = hkdfExtract(derived, shared)
+	derived := deriveSecretShort(e.earlySecret[:], "derived", nil)
+	e.hsSecret = hkdfExtractShort(derived[:], shared)
 	th := e.transcriptHash()
-	e.secrets[secretKey{EpochHandshake, true}] = deriveSecret(e.hsSecret, "c hs traffic", th)
-	e.secrets[secretKey{EpochHandshake, false}] = deriveSecret(e.hsSecret, "s hs traffic", th)
-	e.masterSecret = hkdfExtract(deriveSecret(e.hsSecret, "derived", nil), nil)
+	e.setSecret(EpochHandshake, true, deriveSecretShort(e.hsSecret[:], "c hs traffic", th))
+	e.setSecret(EpochHandshake, false, deriveSecretShort(e.hsSecret[:], "s hs traffic", th))
+	hsDerived := deriveSecretShort(e.hsSecret[:], "derived", nil)
+	e.masterSecret = hkdfExtractShort(hsDerived[:], nil)
+	e.hasMaster = true
 }
 
 func (e *Engine) deriveAppSecrets() {
 	th := e.transcriptHash()
-	e.secrets[secretKey{EpochApp, true}] = deriveSecret(e.masterSecret, "c ap traffic", th)
-	e.secrets[secretKey{EpochApp, false}] = deriveSecret(e.masterSecret, "s ap traffic", th)
+	e.setSecret(EpochApp, true, deriveSecretShort(e.masterSecret[:], "c ap traffic", th))
+	e.setSecret(EpochApp, false, deriveSecretShort(e.masterSecret[:], "s ap traffic", th))
 }
 
 // legacyKey is the TLS 1.2 emulation's Finished key; both sides derive it
 // from the ECDHE secret transcribed into the master secret.
-func (e *Engine) legacyKey() []byte {
-	if e.masterSecret == nil {
-		e.masterSecret = hkdfExtract(nil, []byte("legacy master"))
+func (e *Engine) legacyKey() [hashLen]byte {
+	if !e.hasMaster {
+		e.masterSecret = hkdfExtractShort(nil, []byte("legacy master"))
+		e.hasMaster = true
 	}
-	return hkdfExpand(e.masterSecret, "legacy finished", hashLen)
+	return expandShort(e.masterSecret[:], "legacy finished")
 }
 
 func (e *Engine) deriveLegacyAppSecrets() {
 	th := e.transcriptHash()
-	e.secrets[secretKey{EpochApp, true}] = deriveSecret(e.legacyKey(), "c ap traffic", th)
-	e.secrets[secretKey{EpochApp, false}] = deriveSecret(e.legacyKey(), "s ap traffic", th)
+	lk := e.legacyKey()
+	e.setSecret(EpochApp, true, deriveSecretShort(lk[:], "c ap traffic", th))
+	e.setSecret(EpochApp, false, deriveSecretShort(lk[:], "s ap traffic", th))
 }
 
 func contains(list []string, v string) bool {

@@ -146,18 +146,24 @@ type ServerHelloDone struct{}
 var errTruncated = errors.New("tlsmini: truncated handshake message")
 
 // EncodeMessage serializes a message as type(1) || len(3) || body.
-func EncodeMessage(m Message) []byte {
-	body := encodeBody(m)
-	out := make([]byte, 4, 4+len(body))
-	out[0] = byte(m.Type)
-	out[1] = byte(len(body) >> 16)
-	out[2] = byte(len(body) >> 8)
-	out[3] = byte(len(body))
-	return append(out, body...)
+func EncodeMessage(m Message) []byte { return AppendMessage(nil, m) }
+
+// AppendMessage appends the serialized message to dst and returns the
+// extended slice, reusing dst's capacity; the hot encoders (transcript
+// hashing, record flights, QUIC crypto streams) pass a per-connection
+// scratch buffer so steady-state encoding does not allocate.
+func AppendMessage(dst []byte, m Message) []byte {
+	b := builder{out: append(dst, byte(m.Type), 0, 0, 0)}
+	bodyStart := len(b.out)
+	encodeBody(&b, m)
+	n := len(b.out) - bodyStart
+	b.out[bodyStart-3] = byte(n >> 16)
+	b.out[bodyStart-2] = byte(n >> 8)
+	b.out[bodyStart-1] = byte(n)
+	return b.out
 }
 
-func encodeBody(m Message) []byte {
-	var b builder
+func encodeBody(b *builder, m Message) {
 	switch v := m.Body.(type) {
 	case *ClientHello:
 		b.bytes(v.Random[:])
@@ -202,14 +208,13 @@ func encodeBody(m Message) []byte {
 		b.bytes(v.Nonce[:])
 		b.vec16(v.Ticket)
 		b.bool(v.EarlyDataAllowed)
-		b.bytes(make([]byte, 16)) // extension framing
+		b.bytes(zeroExtension[:]) // extension framing
 	case *ClientKeyExchange:
 		b.bytes(v.KeyShare[:])
 	case *ServerHelloDone:
 	default:
 		panic(fmt.Sprintf("tlsmini: cannot encode %T", m.Body))
 	}
-	return b.out
 }
 
 // DecodeMessage parses one message from b, returning it and the number of
@@ -295,6 +300,8 @@ func DecodeMessage(b []byte) (Message, int, error) {
 	}
 	return m, 4 + n, nil
 }
+
+var zeroExtension [16]byte
 
 type builder struct{ out []byte }
 

@@ -35,6 +35,9 @@ type Conn struct {
 	isClient bool
 
 	rbuf []byte
+	roff int // consumed prefix of rbuf
+	wbuf []byte
+	fbuf []byte // writeFlight encode scratch, reused across flights
 	eof  bool
 
 	readSeq  map[Epoch]uint64
@@ -125,51 +128,66 @@ func (c *Conn) writeFlight(msgs []Message) error {
 	i := 0
 	for i < len(msgs) {
 		epoch := msgs[i].Epoch
-		var payload []byte
+		payload := c.fbuf[:0]
 		for i < len(msgs) && msgs[i].Epoch == epoch {
-			payload = append(payload, EncodeMessage(msgs[i])...)
+			payload = AppendMessage(payload, msgs[i])
 			i++
 		}
-		if err := c.writeRecord(recordHandshake, epoch, payload); err != nil {
+		err := c.writeRecord(recordHandshake, epoch, payload)
+		c.fbuf = payload[:0]
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeRecord assembles the wire record in a buffer reused across
+// records (the stream copies what it keeps, so handing it the same
+// backing array every time is safe).
 func (c *Conn) writeRecord(ct byte, epoch Epoch, payload []byte) error {
-	body := payload
-	if epoch != EpochInitial {
+	b := append(c.wbuf[:0], ct, byte(epoch), 0, 0)
+	if epoch == EpochInitial {
+		b = append(b, payload...)
+	} else {
 		secret := c.engine.TrafficSecret(epoch, c.isClient)
 		if secret == nil {
 			return fmt.Errorf("tlsmini: no write key for epoch %v", epoch)
 		}
 		seq := c.writeSeq[epoch]
 		c.writeSeq[epoch] = seq + 1
-		aad := []byte{ct, byte(epoch)}
-		body = c.sealer.Seal(secret, seq, payload, aad)
+		// The AAD is exactly the first two header bytes already in b.
+		b = c.sealer.SealAppend(b, secret, seq, payload, b[:2])
 	}
-	hdr := []byte{ct, byte(epoch), 0, 0}
-	binary.BigEndian.PutUint16(hdr[2:], uint16(len(body)))
-	return c.stream.Write(append(hdr, body...))
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)-recordHeaderLen))
+	c.wbuf = b[:0]
+	return c.stream.Write(b)
 }
 
 func (c *Conn) readRecord() (ct byte, epoch Epoch, payload []byte, err error) {
-	for len(c.rbuf) < recordHeaderLen {
+	for len(c.rbuf)-c.roff < recordHeaderLen {
 		if !c.fill() {
 			return 0, 0, nil, errors.New("tlsmini: stream closed")
 		}
 	}
-	ct, epoch = c.rbuf[0], Epoch(c.rbuf[1])
-	n := int(binary.BigEndian.Uint16(c.rbuf[2:4]))
-	for len(c.rbuf) < recordHeaderLen+n {
+	hdr := c.rbuf[c.roff:]
+	ct, epoch = hdr[0], Epoch(hdr[1])
+	n := int(binary.BigEndian.Uint16(hdr[2:4]))
+	for len(c.rbuf)-c.roff < recordHeaderLen+n {
 		if !c.fill() {
 			return 0, 0, nil, errors.New("tlsmini: stream closed mid-record")
 		}
 	}
-	body := c.rbuf[recordHeaderLen : recordHeaderLen+n]
-	c.rbuf = append([]byte(nil), c.rbuf[recordHeaderLen+n:]...)
+	body := c.rbuf[c.roff+recordHeaderLen : c.roff+recordHeaderLen+n]
+	c.roff += recordHeaderLen + n
+	if c.roff == len(c.rbuf) {
+		// Fully consumed: rewind so fill appends from the start again.
+		c.rbuf = c.rbuf[:0]
+		c.roff = 0
+	}
 	if epoch == EpochInitial {
+		// Copy: body aliases rbuf, which is overwritten by later fills,
+		// and decoded handshake messages may retain slices of it.
 		return ct, epoch, append([]byte(nil), body...), nil
 	}
 	secret := c.engine.TrafficSecret(epoch, !c.isClient)

@@ -1,0 +1,98 @@
+package tlsmini
+
+import "crypto/sha256"
+
+// Simulation key exchange and signatures.
+//
+// Earlier versions of this package used real X25519 and Ed25519. Profiling
+// the 21-experiment suite showed the curve arithmetic dominating handshake
+// cost (~44% of CPU on the handshake-heavy rows) while contributing nothing
+// the paper measures: reports depend only on message *sizes* and virtual
+// timings, never on ciphertext bits. These stand-ins preserve everything
+// observable — the exact number of deterministic RNG bytes drawn per
+// handshake (32 per key share, 32 per identity), every wire size
+// (32-byte public values, 64-byte signatures), and the commutativity the
+// key schedule relies on — at hash-function cost.
+//
+// They are NOT cryptographically secure and must never leave the
+// simulation: the "shared secret" is computable from the two public
+// values alone, and signatures are forgeable by anyone holding the
+// public key.
+
+const (
+	sigPublicKeySize = 32 // matches ed25519.PublicKeySize
+	sigSize          = 64 // matches ed25519.SignatureSize
+)
+
+// simDHPub derives the public half of a key share from a 32-byte scalar.
+func simDHPub(priv [32]byte) (pub [32]byte) {
+	h := sha256.New()
+	h.Write([]byte("repro-dh-pub"))
+	h.Write(priv[:])
+	h.Sum(pub[:0])
+	return pub
+}
+
+// simDHShared computes the shared secret for (priv, peerPub). Both sides
+// arrive at the same value because the hash input orders the two public
+// values canonically, mimicking the commutativity of real DH.
+func simDHShared(priv [32]byte, peerPub [32]byte) (shared [32]byte) {
+	own := simDHPub(priv)
+	lo, hi := own, peerPub
+	for i := 0; i < 32; i++ {
+		if own[i] != peerPub[i] {
+			if own[i] > peerPub[i] {
+				lo, hi = peerPub, own
+			}
+			break
+		}
+	}
+	h := sha256.New()
+	h.Write([]byte("repro-dh-shared"))
+	h.Write(lo[:])
+	h.Write(hi[:])
+	h.Sum(shared[:0])
+	return shared
+}
+
+// simSigKey derives the 32-byte public key from a 32-byte seed.
+func simSigKey(seed [32]byte) (pub [32]byte) {
+	h := sha256.New()
+	h.Write([]byte("repro-sig-pub"))
+	h.Write(seed[:])
+	h.Sum(pub[:0])
+	return pub
+}
+
+// simSign produces a 64-byte signature over msg. The signature is a
+// function of the public key and the message only, so simVerify can
+// recompute it; like the private key layout of crypto/ed25519, priv is
+// seed || public key.
+func simSign(priv []byte, msg []byte) []byte {
+	sig := make([]byte, sigSize)
+	simSignInto(sig, priv[32:], msg)
+	return sig
+}
+
+func simSignInto(sig, pub, msg []byte) {
+	h := sha256.New()
+	h.Write([]byte("repro-sig-1"))
+	h.Write(pub)
+	h.Write(msg)
+	h.Sum(sig[:0])
+	h.Reset()
+	h.Write([]byte("repro-sig-2"))
+	h.Write(pub)
+	h.Write(msg)
+	h.Sum(sig[:32]) // appends in place, filling sig[32:64]
+}
+
+// simVerify checks a simSign signature against the public key.
+func simVerify(pub, msg, sig []byte) bool {
+	if len(pub) != sigPublicKeySize || len(sig) != sigSize {
+		return false
+	}
+	var want [sigSize]byte
+	simSignInto(want[:], pub, msg)
+	return hmacEqual(want[:], sig)
+}
