@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke determinism
+.PHONY: build test race bench bench-smoke determinism cover fuzz-smoke
 
 build:
 	go build ./...
@@ -13,10 +13,22 @@ race:
 
 # bench records a benchmark-trajectory point (ns/op, B/op, allocs/op,
 # parallel speedup, suite wall time / peak RSS / pool counters) to
-# BENCH_PR6.json. Takes a few minutes: every experiment benchmark reruns
+# BENCH_PR7.json. Takes a few minutes: every experiment benchmark reruns
 # its campaign 3 times, plus one full suite run for telemetry.
 bench:
-	go run ./cmd/bench -count 3 -out BENCH_PR6.json
+	go run ./cmd/bench -count 3 -out BENCH_PR7.json
+
+# cover prints the per-function coverage summary CI publishes.
+cover:
+	go test -coverprofile=/tmp/cover.out ./...
+	go tool cover -func=/tmp/cover.out | tail -20
+
+# fuzz-smoke runs each fuzz target briefly against its seed corpus plus
+# fresh mutations; crashes land in testdata/fuzz as regression inputs.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/dnsmsg
+	go test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/tlsmini
+	go test -run '^$$' -fuzz FuzzServerRecords -fuzztime 10s ./internal/tlsmini
 
 # bench-smoke compiles and runs every benchmark for one iteration, so
 # benchmarks cannot bit-rot.
@@ -25,7 +37,7 @@ bench-smoke:
 
 # determinism diffs representative experiments at -parallel 1 vs 8.
 determinism:
-	@for id in E4 E12 E13 E16 E19 E20; do \
+	@for id in E4 E12 E13 E16 E19 E20 E22 E23 E24; do \
 		go run ./cmd/experiments -id $$id -parallel 1 > /tmp/$$id-p1.txt; \
 		go run ./cmd/experiments -id $$id -parallel 8 > /tmp/$$id-p8.txt; \
 		diff -u /tmp/$$id-p1.txt /tmp/$$id-p8.txt || exit 1; \

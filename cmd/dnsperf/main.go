@@ -13,6 +13,7 @@
 //	dnsperf [-resolvers N] [-rounds N] [-seed N] [-parallel N]
 //	        [-handshake] [-resolve] [-sizes] [-versions]
 //	        [-no-resumption] [-zero-rtt] [-doh3] [-workload] [-cached]
+//	        [-coalesce] [-serve-stale] [-prefetch]
 //
 // Without selection flags it prints all four reports.
 package main
@@ -41,6 +42,9 @@ func main() {
 	doh3 := flag.Bool("doh3", false, "E13/E14: sixth-transport (DoH3) sizes and timing")
 	workload := flag.Bool("workload", false, "E16: Zipf cache-workload hit-ratio grid")
 	cached := flag.Bool("cached", false, "E17: cached vs uncached resolve medians (lossless baseline)")
+	coalesce := flag.Bool("coalesce", false, "E22: in-flight query coalescing under aligned stub cohorts")
+	serveStale := flag.Bool("serve-stale", false, "E23: RFC 8767 serve-stale availability across an upstream outage")
+	prefetch := flag.Bool("prefetch", false, "E24: TTL-expiry prefetch of the Zipf head")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -82,6 +86,15 @@ func main() {
 	}
 	if *cached {
 		ids = append(ids, "E17")
+	}
+	if *coalesce {
+		ids = append(ids, "E22")
+	}
+	if *serveStale {
+		ids = append(ids, "E23")
+	}
+	if *prefetch {
+		ids = append(ids, "E24")
 	}
 	if len(ids) == 0 {
 		ids = []string{"E3", "E4", "E5", "E6"}

@@ -47,12 +47,18 @@ func (e Entry) Remaining(now time.Duration) time.Duration { return e.Expires - n
 // Stats counts cache behaviour for the evaluation.
 type Stats struct {
 	// Hits and Misses count Lookup outcomes; an expired entry counts as
-	// a miss (and an Expiration).
+	// a miss (and, once reaped, an Expiration).
 	Hits, Misses int
-	// Expirations counts entries found dead by Lookup.
+	// Expirations counts entries reaped because they were found dead.
+	// Without a stale ceiling an entry is reaped by the first Lookup
+	// that finds it expired; with one, only once it ages past the
+	// ceiling.
 	Expirations int
 	// Evictions counts LRU evictions under a capacity bound.
 	Evictions int
+	// StaleHits counts LookupStale answers served past expiry (RFC 8767
+	// serve-stale).
+	StaleHits int
 }
 
 // HitRatio returns Hits/(Hits+Misses), 0 before any lookup.
@@ -69,6 +75,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Misses += o.Misses
 	s.Expirations += o.Expirations
 	s.Evictions += o.Evictions
+	s.StaleHits += o.StaleHits
 }
 
 type node struct {
@@ -81,6 +88,7 @@ type node struct {
 type Cache struct {
 	now      func() time.Duration
 	capacity int
+	stale    time.Duration // serve-stale ceiling past expiry; 0 = off
 	entries  map[Key]*list.Element
 	lru      *list.List // front = most recently used
 	stats    Stats
@@ -96,6 +104,20 @@ func New(now func() time.Duration, capacity int) *Cache {
 		lru:      list.New(),
 	}
 }
+
+// SetStaleCeiling enables RFC 8767 serve-stale: expired entries are
+// retained (and LookupStale can answer from them) until they age past
+// Expires+d. A zero or negative d restores strict expiry, where the
+// first Lookup that finds an entry dead reaps it.
+func (c *Cache) SetStaleCeiling(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.stale = d
+}
+
+// StaleCeiling returns the configured serve-stale ceiling (0 = off).
+func (c *Cache) StaleCeiling() time.Duration { return c.stale }
 
 // Len returns the number of live-or-expired entries currently held
 // (expired entries are reaped lazily by Lookup).
@@ -113,16 +135,53 @@ func (c *Cache) Lookup(k Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	n := el.Value.(*node)
-	if n.e.Expires <= c.now() {
-		c.lru.Remove(el)
-		delete(c.entries, k)
-		c.stats.Expirations++
+	if now := c.now(); n.e.Expires <= now {
+		if c.stale > 0 && now < n.e.Expires+c.stale {
+			// Dead for fresh lookups but retained for serve-stale: a
+			// miss, without the reap (LookupStale may still answer).
+			c.stats.Misses++
+			return Entry{}, false
+		}
+		c.reap(el, k)
 		c.stats.Misses++
 		return Entry{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.stats.Hits++
 	return n.e, true
+}
+
+// LookupStale returns the entry for k if it is fresh or within the
+// serve-stale ceiling of its expiry — the RFC 8767 path a proxy takes
+// when the upstream is unreachable. A stale answer counts as a StaleHit
+// (a fresh one as a plain Hit) and refreshes the LRU position either
+// way; an entry past the ceiling is reaped.
+func (c *Cache) LookupStale(k Key) (Entry, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		return Entry{}, false
+	}
+	n := el.Value.(*node)
+	now := c.now()
+	if n.e.Expires > now {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return n.e, true
+	}
+	if c.stale <= 0 || now >= n.e.Expires+c.stale {
+		c.reap(el, k)
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.StaleHits++
+	return n.e, true
+}
+
+// reap removes a dead entry and counts the expiration.
+func (c *Cache) reap(el *list.Element, k Key) {
+	c.lru.Remove(el)
+	delete(c.entries, k)
+	c.stats.Expirations++
 }
 
 // Put inserts or refreshes the answer for k and returns the stored
@@ -185,6 +244,35 @@ func (c *Cache) AnswerQuery(q *dnsmsg.Message) *dnsmsg.Message {
 	}
 	resp := dnsmsg.Reply(*q)
 	resp.AnswerA(ent.Addr, TTLSeconds(ent.Remaining(c.now())))
+	return &resp
+}
+
+// StaleAdvertTTL is the TTL advertised on answers served past their
+// expiry, per RFC 8767 §4's recommendation to cap stale TTLs at 30
+// seconds so downstream caches re-ask promptly.
+const StaleAdvertTTL = 30 * time.Second
+
+// AnswerQueryStale builds a response for q from a fresh-or-stale entry
+// (LookupStale), or nil when none survives. Stale answers advertise
+// StaleAdvertTTL; fresh ones their true remaining lifetime.
+func (c *Cache) AnswerQueryStale(q *dnsmsg.Message) *dnsmsg.Message {
+	if len(q.Questions) == 0 {
+		return nil
+	}
+	qu := q.Questions[0]
+	if qu.Type != dnsmsg.TypeA {
+		return nil
+	}
+	ent, ok := c.LookupStale(Key{Name: qu.Name, Type: qu.Type})
+	if !ok {
+		return nil
+	}
+	ttl := StaleAdvertTTL
+	if rem := ent.Remaining(c.now()); rem > 0 {
+		ttl = rem
+	}
+	resp := dnsmsg.Reply(*q)
+	resp.AnswerA(ent.Addr, TTLSeconds(ttl))
 	return &resp
 }
 

@@ -1,0 +1,81 @@
+package cache
+
+// Hotness is a deterministic fixed-memory popularity tracker over cache
+// keys, in the spirit of the stats.Sketch memory discipline: a
+// space-saving top-K counter table whose footprint is capacity slots no
+// matter how many distinct keys flow through. A proxy uses it to decide
+// which names are worth prefetching before their TTL lapses.
+//
+// The structure is deterministic on the access sequence alone: slot
+// replacement scans the slot array for the first minimum-count victim,
+// never a map iteration, so two shards fed the same key sequence track
+// exactly the same table. A Hotness belongs to one World/shard and is
+// not safe for concurrent use.
+type Hotness struct {
+	capacity int
+	idx      map[Key]int
+	slots    []hotSlot
+}
+
+type hotSlot struct {
+	key   Key
+	count int
+}
+
+// DefaultHotnessCapacity is the slot count used when none is given:
+// enough to hold the Zipf head of the campaign workloads (~20KiB of
+// keys) while staying O(1) per touch at linear-scan victim selection.
+const DefaultHotnessCapacity = 64
+
+// NewHotness returns a tracker with the given slot capacity (<= 0
+// selects DefaultHotnessCapacity).
+func NewHotness(capacity int) *Hotness {
+	if capacity <= 0 {
+		capacity = DefaultHotnessCapacity
+	}
+	return &Hotness{
+		capacity: capacity,
+		idx:      make(map[Key]int, capacity),
+		slots:    make([]hotSlot, 0, capacity),
+	}
+}
+
+// Touch records one access to k and returns its tracked count. When the
+// table is full and k is untracked, the first minimum-count slot is
+// evicted and k inherits its count plus one (the space-saving
+// overestimate, which can only promote, never hide, a hot key).
+func (h *Hotness) Touch(k Key) int {
+	if i, ok := h.idx[k]; ok {
+		h.slots[i].count++
+		return h.slots[i].count
+	}
+	if len(h.slots) < h.capacity {
+		h.slots = append(h.slots, hotSlot{key: k, count: 1})
+		h.idx[k] = len(h.slots) - 1
+		return 1
+	}
+	min := 0
+	for i := 1; i < len(h.slots); i++ {
+		if h.slots[i].count < h.slots[min].count {
+			min = i
+		}
+	}
+	delete(h.idx, h.slots[min].key)
+	h.slots[min] = hotSlot{key: k, count: h.slots[min].count + 1}
+	h.idx[k] = min
+	return h.slots[min].count
+}
+
+// Count returns k's tracked count (0 when untracked).
+func (h *Hotness) Count(k Key) int {
+	if i, ok := h.idx[k]; ok {
+		return h.slots[i].count
+	}
+	return 0
+}
+
+// Hot reports whether k is tracked with at least min accesses.
+func (h *Hotness) Hot(k Key, min int) bool { return h.Count(k) >= min }
+
+// Len returns the number of tracked keys (at most the capacity).
+func (h *Hotness) Len() int { return len(h.slots) }

@@ -16,17 +16,35 @@
 //     60% of DoT page loads and disregarded DoT in its web analysis; the
 //     fix (contributed upstream by the authors) is the FixDoTReuse
 //     toggle, ablated in experiment E12.
+//
+// Beyond the paper's tool, the proxy implements the serving semantics a
+// production resolver frontend needs (DESIGN.md §8, experiments
+// E22–E24):
+//
+//   - In-flight coalescing: identical concurrent (name, type) queries
+//     share one upstream exchange; the fan-out answers waiters in their
+//     virtual-time arrival order, so coalescing is deterministic.
+//   - RFC 8767 serve-stale: when the upstream is unreachable, answers
+//     past their TTL are served from the stub cache up to a bounded
+//     stale ceiling, and a background revalidation task refreshes the
+//     entry once the upstream recovers.
+//   - TTL-expiry prefetch: names a deterministic fixed-memory hotness
+//     tracker marks as hot are refreshed shortly before their TTL
+//     lapses, so the Zipf head never goes cold.
+//   - Per-client token-bucket rate limiting with REFUSED responses.
 package dnsproxy
 
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tlsmini"
 )
 
@@ -55,6 +73,67 @@ type Config struct {
 	StubCache bool
 	// StubCacheCapacity bounds the stub cache (LRU); 0 = unbounded.
 	StubCacheCapacity int
+
+	// Coalesce shares one upstream exchange among identical concurrent
+	// (name, type) queries. Waiters are answered in virtual-time arrival
+	// order (E22).
+	Coalesce bool
+
+	// ServeStale answers from expired stub-cache entries while the
+	// upstream is unreachable, per RFC 8767 (E23). Requires StubCache.
+	ServeStale bool
+	// StaleTTL bounds how far past expiry an entry may still be served
+	// (default 1h; RFC 8767 suggests 1-3 days, scaled down to campaign
+	// timescales).
+	StaleTTL time.Duration
+	// RevalidateInterval is the cadence of background revalidation
+	// attempts for stale-served names (default 2s).
+	RevalidateInterval time.Duration
+
+	// Prefetch refreshes hot names shortly before their TTL lapses so
+	// the Zipf head stays warm (E24). Requires StubCache.
+	Prefetch bool
+	// PrefetchMinHits is the hotness threshold (default 3 accesses).
+	PrefetchMinHits int
+	// PrefetchLead is how long before expiry the refresh fires (default
+	// 1s, clamped below the answer TTL).
+	PrefetchLead time.Duration
+	// PrefetchCapacity bounds the hotness tracker's slot table
+	// (default cache.DefaultHotnessCapacity).
+	PrefetchCapacity int
+	// PrefetchIdle bounds how long the refresh chain outlives client
+	// demand: once no client query for the name has arrived within this
+	// window, the next scheduled refresh lapses instead of firing
+	// (default 30s). Without the horizon a once-hot name would be
+	// refreshed forever.
+	PrefetchIdle time.Duration
+
+	// RateLimitQPS enables per-client token-bucket rate limiting:
+	// clients exceeding this sustained rate get REFUSED responses.
+	// 0 disables limiting.
+	RateLimitQPS float64
+	// RateLimitBurst is the bucket depth (default 4).
+	RateLimitBurst int
+}
+
+// waiter is one stub endpoint awaiting a coalesced exchange: where to
+// send the answer and which query ID to stamp on it.
+type waiter struct {
+	src netip.AddrPort
+	id  uint16
+}
+
+// flight is one in-progress upstream exchange and its waiter list, in
+// arrival order. Flights are pooled: the waiters slice keeps its
+// capacity across reuse, so steady-state coalescing does not allocate.
+type flight struct {
+	waiters []waiter
+}
+
+// tokenBucket is one client's rate-limit state on virtual time.
+type tokenBucket struct {
+	tokens float64
+	last   time.Duration
 }
 
 // Proxy is a running DNS forwarder.
@@ -77,11 +156,34 @@ type Proxy struct {
 	fwdFn  func(any)
 	dgFree []*netem.Datagram
 
+	// inflight maps a query key to its coalesced flight. The map is
+	// only ever indexed, never iterated, so it leaks no ordering.
+	inflight   map[cache.Key]*flight
+	flightFree []*flight
+
+	hot          *cache.Hotness
+	prefetchOn   map[cache.Key]bool          // armed prefetch timers
+	lastSeen     map[cache.Key]time.Duration // last client demand per armed chain
+	revalidating map[cache.Key]bool          // armed revalidation retries
+	buckets      map[netip.AddrPort]*tokenBucket
+	qid          uint16 // internal IDs for prefetch/revalidation queries
+
 	// Counters for the evaluation.
 	Queries          int
 	ExtraConnections int // DoT-bug connections that repeated the handshake
 	Failures         int
 	StubHits         int // queries answered from the stub cache
+	UpstreamQueries  int // exchanges actually sent upstream
+	Coalesced        int // queries that joined an in-flight exchange
+	StaleServed      int // answers served past expiry (RFC 8767)
+	Revalidations    int // stale entries refreshed after upstream recovery
+	Prefetches       int // hot-name refreshes issued before expiry
+	Refused          int // queries rejected by the rate limiter
+
+	// StaleAge sketches the staleness (age past expiry) of every
+	// stale-served answer, for the E23 staleness CDF. Nil unless
+	// ServeStale is on.
+	StaleAge *stats.Sketch
 
 	closed bool
 }
@@ -91,6 +193,28 @@ type Proxy struct {
 func New(host *netem.Host, cfg Config) (*Proxy, error) {
 	if cfg.ListenPort == 0 {
 		cfg.ListenPort = 5353
+	}
+	if cfg.StaleTTL == 0 {
+		cfg.StaleTTL = time.Hour
+	}
+	if cfg.RevalidateInterval == 0 {
+		cfg.RevalidateInterval = 2 * time.Second
+	}
+	if cfg.PrefetchMinHits == 0 {
+		cfg.PrefetchMinHits = 3
+	}
+	if cfg.PrefetchLead == 0 {
+		cfg.PrefetchLead = time.Second
+	}
+	if cfg.PrefetchIdle == 0 {
+		cfg.PrefetchIdle = 30 * time.Second
+	}
+	if cfg.RateLimitBurst == 0 {
+		cfg.RateLimitBurst = 4
+	}
+	if cfg.ServeStale || cfg.Prefetch {
+		// Both features live on the stub cache; enabling them implies it.
+		cfg.StubCache = true
 	}
 	sock, err := host.Listen(netem.ProtoUDP, cfg.ListenPort, 8)
 	if err != nil {
@@ -107,6 +231,22 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 	if cfg.StubCache {
 		p.stub = cache.New(p.w.Now, cfg.StubCacheCapacity)
 	}
+	if cfg.ServeStale {
+		p.stub.SetStaleCeiling(cfg.StaleTTL)
+		p.revalidating = make(map[cache.Key]bool)
+		p.StaleAge = stats.NewSketch()
+	}
+	if cfg.Coalesce {
+		p.inflight = make(map[cache.Key]*flight)
+	}
+	if cfg.Prefetch {
+		p.hot = cache.NewHotness(cfg.PrefetchCapacity)
+		p.prefetchOn = make(map[cache.Key]bool)
+		p.lastSeen = make(map[cache.Key]time.Duration)
+	}
+	if cfg.RateLimitQPS > 0 {
+		p.buckets = make(map[netip.AddrPort]*tokenBucket)
+	}
 	p.fwdFn = func(a any) {
 		dg := a.(*netem.Datagram)
 		d := *dg
@@ -120,6 +260,15 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 
 // Addr returns the local address Chromium's stub should query.
 func (p *Proxy) Addr() netip.AddrPort { return p.sock.LocalAddr() }
+
+// StubCacheStats returns the stub cache's counters (zero without a stub
+// cache).
+func (p *Proxy) StubCacheStats() cache.Stats {
+	if p.stub == nil {
+		return cache.Stats{}
+	}
+	return p.stub.Stats()
+}
 
 func (p *Proxy) serve() {
 	for {
@@ -140,38 +289,302 @@ func (p *Proxy) serve() {
 	}
 }
 
+// queryKey extracts the coalescing/cache key of a query's first
+// question. ok is false for questionless messages.
+func queryKey(q *dnsmsg.Message) (cache.Key, bool) {
+	if len(q.Questions) == 0 {
+		return cache.Key{}, false
+	}
+	qu := q.Questions[0]
+	return cache.Key{Name: qu.Name, Type: qu.Type}, true
+}
+
+// send encodes resp into a pooled buffer and sends it to dst (the
+// network assumes ownership of the buffer).
+func (p *Proxy) send(dst netip.AddrPort, resp *dnsmsg.Message) {
+	p.sock.Send(dst, resp.AppendEncode(p.sock.Pool().Get(512)))
+}
+
 func (p *Proxy) forward(d netem.Datagram) {
 	q, err := dnsmsg.Decode(d.Payload)
 	if err != nil {
 		return
 	}
 	p.Queries++
+	if !p.allow(d.Src) {
+		p.Refused++
+		resp := dnsmsg.Reply(*q)
+		resp.RCode = dnsmsg.RCodeRefused
+		p.send(d.Src, &resp)
+		return
+	}
+	key, hasKey := queryKey(q)
+	if hasKey && p.hot != nil {
+		// Popularity reflects demand, so every query counts — including
+		// the ones the stub cache absorbs.
+		p.hot.Touch(key)
+		if p.prefetchOn[key] {
+			// Live demand extends the armed refresh chain's idle horizon.
+			p.lastSeen[key] = p.w.Now()
+		}
+	}
 	if p.stub != nil {
 		if resp := p.stub.AnswerQuery(q); resp != nil {
 			p.StubHits++
-			p.sock.Send(d.Src, resp.Encode())
+			p.send(d.Src, resp)
 			return
 		}
 	}
+	if p.cfg.Coalesce && hasKey {
+		if f, ok := p.inflight[key]; ok {
+			// Join the in-flight exchange. Arrival order is virtual-time
+			// order (the kernel runs one task at a time), so the waiter
+			// list — and with it the fan-out below — is deterministic.
+			p.Coalesced++
+			f.waiters = append(f.waiters, waiter{src: d.Src, id: q.ID})
+			return
+		}
+		f := p.newFlight()
+		f.waiters = append(f.waiters, waiter{src: d.Src, id: q.ID})
+		p.inflight[key] = f
+		resp := p.exchange(q, false)
+		// Unregister before fanning out: replies may yield, and a new
+		// identical query must start a fresh exchange, not join a
+		// completed one.
+		delete(p.inflight, key)
+		if resp != nil {
+			for _, wt := range f.waiters {
+				resp.ID = wt.id
+				p.send(wt.src, resp)
+			}
+		} else {
+			for _, wt := range f.waiters {
+				p.answerStale(key, wt.src, wt.id)
+			}
+		}
+		p.freeFlight(f)
+		return
+	}
+	resp := p.exchange(q, false)
+	if resp == nil {
+		if hasKey {
+			// RFC 8767: prefer a stale answer over no answer. Without
+			// serve-stale the query is dropped: the stub retransmits at
+			// its own cadence, exactly the asymmetry the paper observed
+			// between DoUDP and the others.
+			p.answerStale(key, d.Src, q.ID)
+		}
+		return
+	}
+	p.send(d.Src, resp)
+}
+
+// exchange performs one upstream query, storing any answer in the stub
+// cache and arming prefetch for hot names. internal marks proxy-initiated
+// queries (revalidation, prefetch), which must not count as client demand
+// — otherwise the refresh chain would feed its own idle horizon and never
+// die. Returns nil on failure.
+func (p *Proxy) exchange(q *dnsmsg.Message, internal bool) *dnsmsg.Message {
 	client, transient, err := p.client()
 	if err != nil {
 		p.Failures++
-		return
+		return nil
 	}
+	p.UpstreamQueries++
+	// Rewrite the transaction ID for the upstream leg, as real proxies
+	// do: two stubs may pick the same ID for concurrent queries, and the
+	// upstream transports match responses by ID.
+	orig := q.ID
+	p.qid++
+	q.ID = p.qid
 	resp, err := client.Query(q)
+	q.ID = orig
 	if transient {
 		client.Close()
 	}
 	if err != nil {
 		p.Failures++
-		// Drop: the stub retransmits at its own cadence, exactly the
-		// asymmetry the paper observed between DoUDP and the others.
-		return
+		return nil
 	}
+	resp.ID = orig
 	if p.stub != nil {
 		p.stub.StoreResponse(resp)
+		p.armPrefetch(resp, internal)
 	}
-	p.sock.Send(d.Src, resp.Encode())
+	return resp
+}
+
+// allow charges src's token bucket for one query. Buckets refill at
+// RateLimitQPS on virtual time up to RateLimitBurst; the map is only
+// indexed by source, never iterated, so limiting stays deterministic.
+func (p *Proxy) allow(src netip.AddrPort) bool {
+	if p.buckets == nil {
+		return true
+	}
+	now := p.w.Now()
+	b, ok := p.buckets[src]
+	if !ok {
+		b = &tokenBucket{tokens: float64(p.cfg.RateLimitBurst), last: now}
+		p.buckets[src] = b
+	}
+	b.tokens += p.cfg.RateLimitQPS * (now - b.last).Seconds()
+	if max := float64(p.cfg.RateLimitBurst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// answerStale serves src from a fresh-or-stale stub entry after a failed
+// upstream exchange, arming background revalidation when the answer was
+// genuinely stale. Reports whether an answer was sent.
+func (p *Proxy) answerStale(key cache.Key, src netip.AddrPort, id uint16) bool {
+	if !p.cfg.ServeStale || p.closed {
+		return false
+	}
+	ent, ok := p.stub.LookupStale(key)
+	if !ok {
+		return false
+	}
+	ttl := cache.StaleAdvertTTL
+	if rem := ent.Remaining(p.w.Now()); rem > 0 {
+		// A concurrent exchange refreshed the entry while ours failed:
+		// this is a plain hit, not a stale serve.
+		ttl = rem
+	} else {
+		p.StaleServed++
+		p.StaleAge.AddDuration(-rem)
+		p.scheduleRevalidate(key)
+	}
+	resp := dnsmsg.Message{
+		ID:                 id,
+		Response:           true,
+		RecursionDesired:   true,
+		RecursionAvailable: true,
+		Questions:          []dnsmsg.Question{{Name: key.Name, Type: key.Type, Class: dnsmsg.ClassIN}},
+	}
+	resp.AnswerA(ent.Addr, cache.TTLSeconds(ttl))
+	p.send(src, &resp)
+	return true
+}
+
+// scheduleRevalidate arms (at most one per key) a background refresh of
+// a stale-served entry: retried every RevalidateInterval until the
+// upstream recovers or the entry ages past the stale ceiling.
+func (p *Proxy) scheduleRevalidate(key cache.Key) {
+	if p.revalidating[key] {
+		return
+	}
+	p.revalidating[key] = true
+	p.w.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
+}
+
+// revalidate runs one background refresh attempt for key. Timer
+// callbacks run as kernel tasks, so blocking on the upstream exchange
+// here is safe.
+func (p *Proxy) revalidate(key cache.Key) {
+	if p.closed {
+		delete(p.revalidating, key)
+		return
+	}
+	if _, stillHeld := p.stub.LookupStale(key); !stillHeld {
+		// Aged past the ceiling (or flushed): nothing left to refresh.
+		delete(p.revalidating, key)
+		return
+	}
+	p.qid++
+	q := dnsmsg.NewQuery(p.qid, key.Name, key.Type)
+	if resp := p.exchange(&q, true); resp != nil {
+		p.Revalidations++
+		delete(p.revalidating, key)
+		return
+	}
+	// Still unreachable: keep the marker and retry.
+	p.w.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
+}
+
+// armPrefetch schedules a TTL-expiry refresh for the first A answer of
+// resp when the hotness tracker marks its name hot. At most one timer
+// per key is armed; a successful refresh re-arms through this same path.
+// A client-triggered arm records demand (seeding the idle horizon); an
+// internal re-arm does not.
+func (p *Proxy) armPrefetch(resp *dnsmsg.Message, internal bool) {
+	if p.hot == nil || resp.RCode != dnsmsg.RCodeSuccess {
+		return
+	}
+	for _, a := range resp.Answers {
+		if a.Type != dnsmsg.TypeA || !a.Addr.IsValid() {
+			continue
+		}
+		key := cache.Key{Name: a.Name, Type: a.Type}
+		ttl := time.Duration(a.TTL) * time.Second
+		if ttl <= 0 || p.prefetchOn[key] || !p.hot.Hot(key, p.cfg.PrefetchMinHits) {
+			return
+		}
+		lead := p.cfg.PrefetchLead
+		if ttl <= lead {
+			// The upstream handed down the tail of its own cache entry
+			// (shorter than the lead). Refreshing early would inherit an
+			// even shorter remainder and starve the chain; refresh at
+			// expiry instead, when the upstream re-recurses too (TTLs
+			// round up, so our expiry lands just past the upstream's).
+			lead = 0
+		}
+		p.prefetchOn[key] = true
+		if !internal {
+			p.lastSeen[key] = p.w.Now()
+		}
+		p.w.AfterFunc(ttl-lead, func() { p.prefetch(key) })
+		return
+	}
+}
+
+// prefetch refreshes key just before its TTL lapses, provided the name
+// is still hot and clients have asked for it within the idle horizon.
+// The refreshed answer re-arms the next prefetch, so a name under live
+// demand never goes cold — while a chain the clients abandoned lapses
+// at its next scheduled refresh.
+func (p *Proxy) prefetch(key cache.Key) {
+	delete(p.prefetchOn, key)
+	if p.closed {
+		return
+	}
+	if !p.hot.Hot(key, p.cfg.PrefetchMinHits) || p.w.Now()-p.lastSeen[key] > p.cfg.PrefetchIdle {
+		delete(p.lastSeen, key)
+		return
+	}
+	if p.cfg.Coalesce {
+		if _, busy := p.inflight[key]; busy {
+			// A client exchange is already refreshing this name.
+			return
+		}
+	}
+	p.Prefetches++
+	p.qid++
+	q := dnsmsg.NewQuery(p.qid, key.Name, key.Type)
+	p.exchange(&q, true)
+}
+
+// newFlight leases a flight with an empty (capacity-retaining) waiter
+// list.
+func (p *Proxy) newFlight() *flight {
+	if n := len(p.flightFree); n > 0 {
+		f := p.flightFree[n-1]
+		p.flightFree[n-1] = nil
+		p.flightFree = p.flightFree[:n-1]
+		return f
+	}
+	return &flight{}
+}
+
+// freeFlight recycles a completed flight.
+func (p *Proxy) freeFlight(f *flight) {
+	f.waiters = f.waiters[:0]
+	p.flightFree = append(p.flightFree, f)
 }
 
 // client returns the upstream session to use for the next query,
@@ -193,6 +606,9 @@ func (p *Proxy) client() (c dox.Client, transient bool, err error) {
 		return p.primary, false, nil
 	}
 	p.primary, err = p.connect()
+	if err != nil {
+		p.primary = nil
+	}
 	return p.primary, false, err
 }
 
@@ -221,7 +637,9 @@ func (p *Proxy) connect() (dox.Client, error) {
 
 // ResetSessions closes all upstream connections while keeping resumption
 // state (tickets, tokens, negotiated versions), as the paper does between
-// the cache-warming navigation and the measurement navigation.
+// the cache-warming navigation and the measurement navigation. The stub
+// cache — including its stale inventory, hotness table and armed
+// prefetches — survives: it is the warm shared cache under measurement.
 func (p *Proxy) ResetSessions() {
 	if p.primary != nil {
 		if p.quicUpstream() {

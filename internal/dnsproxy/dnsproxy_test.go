@@ -2,9 +2,11 @@ package dnsproxy
 
 import (
 	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
@@ -15,11 +17,22 @@ import (
 
 func setup(t *testing.T, upstream dox.Protocol, mut func(*Config)) (*resolver.Universe, *Proxy) {
 	t.Helper()
-	u, err := resolver.NewUniverse(resolver.UniverseConfig{
+	return setupFull(t, upstream, nil, mut)
+}
+
+// setupFull is setup with control over the universe too (path phases,
+// profile mutation) for the serving-semantics tests.
+func setupFull(t *testing.T, upstream dox.Protocol, umut func(*resolver.UniverseConfig), mut func(*Config)) (*resolver.Universe, *Proxy) {
+	t.Helper()
+	ucfg := resolver.UniverseConfig{
 		Seed:           21,
 		ResolverCounts: map[geo.Continent]int{geo.EU: 1},
 		Loss:           0,
-	})
+	}
+	if umut != nil {
+		umut(&ucfg)
+	}
+	u, err := resolver.NewUniverse(ucfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,5 +200,346 @@ func TestUpstreamFailureCountsAsFailure(t *testing.T) {
 	}
 	if p.Failures == 0 {
 		t.Error("proxy did not count the failure")
+	}
+}
+
+// TestCoalescingSharesUpstreamExchange checks the E22 mechanism at unit
+// scale: identical concurrent queries share one upstream exchange, every
+// waiter still gets a response stamped with its own ID, and disabling
+// coalescing restores one exchange per query.
+func TestCoalescingSharesUpstreamExchange(t *testing.T) {
+	run := func(coalesce bool) (*Proxy, int) {
+		u, p := setup(t, dox.DoUDP, func(c *Config) { c.Coalesce = coalesce })
+		answered := 0
+		u.W.Go(func() {
+			wg := sim.NewWaitGroup(u.W)
+			for i := 0; i < 4; i++ {
+				id := uint16(10 + i)
+				wg.Add(1)
+				u.W.Go(func() {
+					defer wg.Done()
+					resp, ok := stubQuery(u, p.Addr(), id, "hot.example", 10*time.Second)
+					if ok && resp.ID == id && len(resp.Answers) > 0 {
+						answered++
+					}
+				})
+			}
+			wg.Wait()
+		})
+		u.W.Run()
+		return p, answered
+	}
+	p, answered := run(true)
+	if answered != 4 {
+		t.Fatalf("coalesced: %d/4 waiters answered", answered)
+	}
+	if p.UpstreamQueries != 1 {
+		t.Errorf("coalesced: %d upstream exchanges, want 1", p.UpstreamQueries)
+	}
+	if p.Coalesced != 3 {
+		t.Errorf("coalesced: %d joins, want 3", p.Coalesced)
+	}
+	p, answered = run(false)
+	if answered != 4 {
+		t.Fatalf("uncoalesced: %d/4 queries answered", answered)
+	}
+	if p.UpstreamQueries != 4 {
+		t.Errorf("uncoalesced: %d upstream exchanges, want 4", p.UpstreamQueries)
+	}
+}
+
+// outageSetup builds a universe whose single resolver answers every
+// query with a 5s TTL and goes unreachable during [10s, 40s).
+func outageSetup(t *testing.T, mut func(*Config)) (*resolver.Universe, *Proxy) {
+	t.Helper()
+	return setupFull(t, dox.DoUDP,
+		func(uc *resolver.UniverseConfig) {
+			uc.PathPhases = resolver.OutagePhases(0, 10*time.Second, 40*time.Second)
+			uc.MutateProfile = func(p *resolver.Profile) {
+				p.ResponseRate = 1
+				p.CacheTTL = 5 * time.Second
+			}
+		},
+		func(c *Config) {
+			c.Options.UDPTimeout = 500 * time.Millisecond
+			c.Options.UDPRetries = 0
+			mut(c)
+		})
+}
+
+// TestServeStaleAcrossOutage checks the RFC 8767 state machine: a name
+// cached before an upstream outage is served stale (advertising the
+// 30s cap) once its TTL lapses mid-outage, background revalidation
+// refreshes it after recovery, and with serve-stale off the same query
+// gets nothing.
+func TestServeStaleAcrossOutage(t *testing.T) {
+	u, p := outageSetup(t, func(c *Config) {
+		c.ServeStale = true
+		c.StaleTTL = 5 * time.Minute
+		c.RevalidateInterval = 2 * time.Second
+	})
+	var warmAddr, staleAddr [4]byte
+	var staleOK, postOK bool
+	var staleTTL uint32
+	var postHits int
+	u.W.Go(func() {
+		resp, ok := stubQuery(u, p.Addr(), 1, "popular.example", 5*time.Second)
+		if !ok || len(resp.Answers) == 0 {
+			t.Error("warm query failed")
+			return
+		}
+		warmAddr = resp.Answers[0].Addr.As4()
+		// 20s: mid-outage, entry expired 15s ago.
+		u.W.Sleep(20*time.Second - u.W.Now())
+		var stale *dnsmsg.Message
+		stale, staleOK = stubQuery(u, p.Addr(), 2, "popular.example", 5*time.Second)
+		if staleOK && len(stale.Answers) > 0 {
+			staleAddr = stale.Answers[0].Addr.As4()
+			staleTTL = stale.Answers[0].TTL
+		}
+		// 43.5s: just past recovery. Revalidation (retrying every
+		// ~2.5s) succeeds within an attempt or two of the path healing,
+		// and its refreshed entry — whose TTL is the upstream's 5s —
+		// is still fresh here.
+		u.W.Sleep(43500*time.Millisecond - u.W.Now())
+		before := p.StubHits
+		_, postOK = stubQuery(u, p.Addr(), 3, "popular.example", 5*time.Second)
+		postHits = p.StubHits - before
+	})
+	u.W.Run()
+	if !staleOK {
+		t.Fatal("no stale answer during outage")
+	}
+	if staleAddr != warmAddr {
+		t.Errorf("stale answer addr %v differs from cached %v", staleAddr, warmAddr)
+	}
+	if staleTTL != uint32(cache.StaleAdvertTTL/time.Second) {
+		t.Errorf("stale answer advertised TTL %d, want %d", staleTTL, cache.StaleAdvertTTL/time.Second)
+	}
+	if p.StaleServed != 1 {
+		t.Errorf("StaleServed = %d, want 1", p.StaleServed)
+	}
+	if p.Revalidations != 1 {
+		t.Errorf("Revalidations = %d, want 1 (background refresh after recovery)", p.Revalidations)
+	}
+	if !postOK {
+		t.Error("post-recovery query failed")
+	}
+	if postHits != 1 {
+		t.Errorf("post-recovery query was not served from the revalidated cache (hits delta %d)", postHits)
+	}
+
+	// Off arm: same outage, no serve-stale — the mid-outage query gets
+	// nothing at all.
+	u2, p2 := outageSetup(t, func(c *Config) { c.StubCache = true })
+	var gotDuringOutage bool
+	u2.W.Go(func() {
+		if _, ok := stubQuery(u2, p2.Addr(), 1, "popular.example", 5*time.Second); !ok {
+			t.Error("warm query failed (off arm)")
+			return
+		}
+		u2.W.Sleep(20*time.Second - u2.W.Now())
+		_, gotDuringOutage = stubQuery(u2, p2.Addr(), 2, "popular.example", 5*time.Second)
+	})
+	u2.W.Run()
+	if gotDuringOutage {
+		t.Error("serve-stale off: expired name was answered during the outage")
+	}
+	if p2.StaleServed != 0 {
+		t.Errorf("serve-stale off: StaleServed = %d", p2.StaleServed)
+	}
+}
+
+// TestPrefetchKeepsHotNameWarm checks the E24 mechanism: once a name
+// crosses the hotness threshold, the proxy refreshes it before every
+// TTL expiry, so later queries are stub hits instead of misses.
+func TestPrefetchKeepsHotNameWarm(t *testing.T) {
+	u, p := setupFull(t, dox.DoUDP,
+		func(uc *resolver.UniverseConfig) {
+			uc.MutateProfile = func(pr *resolver.Profile) {
+				pr.ResponseRate = 1
+				pr.CacheTTL = 5 * time.Second
+			}
+		},
+		func(c *Config) {
+			c.Prefetch = true
+			c.PrefetchMinHits = 3
+			c.PrefetchLead = time.Second
+		})
+	u.W.Go(func() {
+		// Three queries make the name hot; the third-second one still
+		// rides the first answer's TTL.
+		for i := 0; i < 3; i++ {
+			if _, ok := stubQuery(u, p.Addr(), uint16(i+1), "hot.example", 5*time.Second); !ok {
+				t.Error("query failed")
+				return
+			}
+			u.W.Sleep(time.Second)
+		}
+		// 6s: the first entry expired at ~5s; this miss arms the
+		// prefetch chain.
+		u.W.Sleep(6*time.Second - u.W.Now())
+		stubQuery(u, p.Addr(), 4, "hot.example", 5*time.Second)
+		// From here on the name should never expire again: sample well
+		// past two more TTL generations.
+		u.W.Sleep(18*time.Second - u.W.Now())
+		before := p.StubHits
+		if _, ok := stubQuery(u, p.Addr(), 5, "hot.example", 5*time.Second); !ok {
+			t.Error("late query failed")
+			return
+		}
+		if p.StubHits != before+1 {
+			t.Error("late query missed the stub cache despite prefetch")
+		}
+	})
+	u.W.Run()
+	if p.Prefetches == 0 {
+		t.Error("no prefetches issued for a hot name")
+	}
+}
+
+// TestRateLimitRefuses checks the token bucket: a burst beyond the
+// bucket depth gets REFUSED responses, and the bucket refills on
+// virtual time.
+func TestRateLimitRefuses(t *testing.T) {
+	u, p := setup(t, dox.DoUDP, func(c *Config) {
+		c.RateLimitQPS = 1
+		c.RateLimitBurst = 2
+	})
+	refusedSeen := 0
+	okSeen := 0
+	u.W.Go(func() {
+		host := u.Vantages[0].Host
+		sock := host.Dial(netem.ProtoUDP, 8)
+		defer sock.Close()
+		for i := 0; i < 4; i++ {
+			q := dnsmsg.NewQuery(uint16(i+1), "burst.example", dnsmsg.TypeA)
+			sock.Send(p.Addr(), q.Encode())
+		}
+		for i := 0; i < 4; i++ {
+			d, ok := sock.RecvTimeout(5 * time.Second)
+			if !ok {
+				break
+			}
+			resp, err := dnsmsg.Decode(d.Payload)
+			if err != nil {
+				continue
+			}
+			if resp.RCode == dnsmsg.RCodeRefused {
+				refusedSeen++
+			} else {
+				okSeen++
+			}
+		}
+		// After 3s the bucket has refilled.
+		u.W.Sleep(3 * time.Second)
+		q := dnsmsg.NewQuery(9, "later.example", dnsmsg.TypeA)
+		sock.Send(p.Addr(), q.Encode())
+		if d, ok := sock.RecvTimeout(5 * time.Second); ok {
+			if resp, err := dnsmsg.Decode(d.Payload); err == nil && resp.RCode == dnsmsg.RCodeSuccess {
+				okSeen++
+			}
+		}
+	})
+	u.W.Run()
+	if refusedSeen != 2 {
+		t.Errorf("refused responses seen: %d, want 2", refusedSeen)
+	}
+	if p.Refused != 2 {
+		t.Errorf("Refused counter = %d, want 2", p.Refused)
+	}
+	if okSeen != 3 {
+		t.Errorf("successful responses: %d, want 3 (2 burst + 1 refilled)", okSeen)
+	}
+}
+
+// TestResetSessionsKeepsStubCacheMidCampaign covers the documented but
+// previously unverified semantics: ResetSessions mid-campaign — with a
+// query in flight — tears down upstream sessions only, and the
+// populated stub cache keeps answering without touching the upstream.
+func TestResetSessionsKeepsStubCacheMidCampaign(t *testing.T) {
+	u, p := setup(t, dox.DoQ, func(c *Config) { c.StubCache = true })
+	u.W.Go(func() {
+		if _, ok := stubQuery(u, p.Addr(), 1, "warm.example", 10*time.Second); !ok {
+			t.Error("warming query failed")
+			return
+		}
+		// Put a second name's query in flight, then reset mid-exchange.
+		u.W.Go(func() {
+			stubQuery(u, p.Addr(), 2, "inflight.example", 3*time.Second)
+		})
+		u.W.Sleep(10 * time.Millisecond)
+		p.ResetSessions()
+		u.W.Sleep(5 * time.Second)
+		// The warm name must come from the stub cache: no new upstream
+		// exchange, no new connection handshake.
+		upBefore, hitsBefore := p.UpstreamQueries, p.StubHits
+		resp, ok := stubQuery(u, p.Addr(), 3, "warm.example", 10*time.Second)
+		if !ok || len(resp.Answers) == 0 {
+			t.Error("post-reset query for cached name failed")
+			return
+		}
+		if p.StubHits != hitsBefore+1 {
+			t.Errorf("post-reset query missed the stub cache (hits %d -> %d)", hitsBefore, p.StubHits)
+		}
+		if p.UpstreamQueries != upBefore {
+			t.Errorf("post-reset cached query went upstream (%d -> %d)", upBefore, p.UpstreamQueries)
+		}
+	})
+	u.W.Run()
+}
+
+// TestCoalescedFanoutSteadyStateAllocs bounds the per-round allocation
+// of the coalesced fan-out path in steady state: pooled flights, pooled
+// waiter lists and pooled response buffers must keep a 4-waiter round
+// from allocating per waiter.
+func TestCoalescedFanoutSteadyStateAllocs(t *testing.T) {
+	u, p := setup(t, dox.DoUDP, func(c *Config) { c.Coalesce = true })
+	const clients = 4
+	const rounds = 50
+	var perRound float64
+	u.W.Go(func() {
+		host := u.Vantages[0].Host
+		socks := make([]*netem.Socket, clients)
+		qs := make([]dnsmsg.Message, clients)
+		for i := range socks {
+			socks[i] = host.Dial(netem.ProtoUDP, 8)
+			qs[i] = dnsmsg.NewQuery(uint16(i+1), "steady.example", dnsmsg.TypeA)
+		}
+		round := func() {
+			for i := range socks {
+				socks[i].Send(p.Addr(), qs[i].AppendEncode(socks[i].Pool().Get(512)))
+			}
+			for i := range socks {
+				d, ok := socks[i].RecvTimeout(5 * time.Second)
+				if !ok {
+					t.Error("fan-out response missing")
+					return
+				}
+				socks[i].Pool().Put(d.Payload)
+			}
+			u.W.Sleep(50 * time.Millisecond)
+		}
+		for i := 0; i < 20; i++ {
+			round() // warm pools (flights, buffers, sim timer entries)
+		}
+		var m1, m2 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		for i := 0; i < rounds; i++ {
+			round()
+		}
+		runtime.ReadMemStats(&m2)
+		perRound = float64(m2.Mallocs-m1.Mallocs) / rounds
+	})
+	u.W.Run()
+	if p.Coalesced == 0 {
+		t.Fatal("no queries coalesced; the guard is not exercising the fan-out path")
+	}
+	t.Logf("coalesced fan-out: %.1f allocs/round (%d clients)", perRound, clients)
+	// The round inevitably pays the upstream exchange and client-side
+	// decode; the budget guards against per-waiter regressions (each
+	// waiter costing encode+send must stay pooled).
+	if perRound > 60 {
+		t.Errorf("coalesced fan-out allocates %.1f/round; budget 60", perRound)
 	}
 }

@@ -274,6 +274,9 @@ func All() []Experiment {
 		{ID: "E19", Artifact: "§3 access grid", About: "handshake and resolve medians per transport across access-network profiles", Run: runE19},
 		{ID: "E20", Artifact: "§3.1 burst loss", About: "resolve tails under Gilbert-Elliott burst loss: DoQ recovery vs the TCP transports", Run: runE20},
 		{ID: "E21", Artifact: "§3.2 access web", About: "PLT across access-network profiles: where does the encrypted penalty hurt most?", Run: runE21},
+		{ID: "E22", Artifact: "§6 coalescing", About: "in-flight query coalescing: upstream-QPS reduction and tail latency under aligned cohorts", Run: runE22},
+		{ID: "E23", Artifact: "§6 serve-stale", About: "RFC 8767 availability and answer-staleness CDF across a scheduled upstream outage", Run: runE23},
+		{ID: "E24", Artifact: "§6 prefetch", About: "TTL-expiry prefetch of the Zipf head: stub hit-ratio and p95 resolve lift", Run: runE24},
 	}
 }
 

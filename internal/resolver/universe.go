@@ -78,6 +78,20 @@ type PathPhase struct {
 	Burst netem.BurstLoss
 }
 
+// OutagePhases builds the three-phase path schedule of a total upstream
+// outage: the base loss before start, 100% datagram loss inside
+// [start, end), and the base loss again after recovery. E23 and the
+// serve-stale tests install it via UniverseConfig.PathPhases to make
+// every resolver unreachable for the window while the vantage hosts
+// stay up.
+func OutagePhases(baseLoss float64, start, end time.Duration) []PathPhase {
+	return []PathPhase{
+		{At: 0, Loss: baseLoss},
+		{At: start, Loss: 1},
+		{At: end, Loss: baseLoss},
+	}
+}
+
 // ScaledCounts returns the paper's continent distribution scaled to
 // roughly n resolvers (at least one per continent).
 func ScaledCounts(n int) map[geo.Continent]int {

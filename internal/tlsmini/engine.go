@@ -177,7 +177,9 @@ func (e *Engine) PeerName() string { return e.peerIdentityName }
 // (client=true for client-to-server). It returns nil if not yet derived.
 func (e *Engine) TrafficSecret(epoch Epoch, client bool) []byte {
 	i := secretIdx(epoch, client)
-	if !e.secretSet[i] {
+	// The epoch may come straight off the wire (a record header byte);
+	// an out-of-range value has no key rather than a panic.
+	if i >= len(e.secretSet) || !e.secretSet[i] {
 		return nil
 	}
 	return e.secrets[i][:]

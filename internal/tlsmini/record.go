@@ -172,6 +172,9 @@ func (c *Conn) readRecord() (ct byte, epoch Epoch, payload []byte, err error) {
 	}
 	hdr := c.rbuf[c.roff:]
 	ct, epoch = hdr[0], Epoch(hdr[1])
+	if epoch > EpochApp {
+		return 0, 0, nil, fmt.Errorf("tlsmini: bad record epoch %d", uint8(epoch))
+	}
 	n := int(binary.BigEndian.Uint16(hdr[2:4]))
 	for len(c.rbuf)-c.roff < recordHeaderLen+n {
 		if !c.fill() {
