@@ -1,0 +1,201 @@
+// Command simlint runs the repository's analyzer suite (internal/lint):
+// six checkers that machine-enforce the determinism, pool-ownership,
+// hot-path, and layering invariants. Two modes:
+//
+// Standalone multichecker (the `make lint` entry point):
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -rules maporder,poolown ./internal/...
+//	go run ./cmd/simlint -write-layering-baseline   # ratchet down
+//
+// Vet tool (per-package, driven by the go command):
+//
+//	go build -o bin/simlint ./cmd/simlint
+//	go vet -vettool=$(pwd)/bin/simlint ./...
+//
+// Exit status is nonzero when any finding survives //simlint:allow
+// pragmas and the layering baseline. Layering findings are ratcheted:
+// each protocol package may carry at most the sim.World reference count
+// recorded in internal/lint/layering_baseline.txt, so existing debt is
+// tolerated while new debt fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	// go vet probes its tool with -V=full, then invokes it with a
+	// single *.cfg argument per package.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Println("simlint version 1 (repro analyzer suite)")
+		return
+	}
+	// go vet asks the tool which flags it supports; simlint takes none
+	// in vet-tool mode.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vettoolMain(os.Args[1]))
+	}
+	os.Exit(standaloneMain())
+}
+
+func standaloneMain() int {
+	var (
+		rulesFlag     = flag.String("rules", "", "comma-separated rule subset to run (default: all)")
+		baselineFlag  = flag.String("layering-baseline", "", "layering baseline file (default: <module>/internal/lint/layering_baseline.txt)")
+		writeBaseline = flag.Bool("write-layering-baseline", false, "rewrite the layering baseline from current findings and exit")
+		listRules     = flag.Bool("list", false, "print the rule catalog and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	root, err := moduleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	baselinePath := *baselineFlag
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "internal", "lint", "layering_baseline.txt")
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.LoadModule(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	base, err := lint.ReadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	failing, counts, shrunk := lint.ApplyBaseline(findings, base)
+
+	if *writeBaseline {
+		if err := lint.WriteBaseline(baselinePath, counts); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %s (%d packages)\n", baselinePath, len(counts))
+		// Non-layering findings still fail the run.
+		failing = failing[:0]
+		for _, f := range findings {
+			if f.Rule != lint.Layering.Name {
+				failing = append(failing, f)
+			}
+		}
+	}
+
+	printFindings(failing, root)
+	if len(shrunk) > 0 && !*writeBaseline {
+		fmt.Fprintf(os.Stderr, "simlint: layering debt shrank (%s); ratchet down with -write-layering-baseline\n",
+			strings.Join(shrunk, ", "))
+	}
+	if len(failing) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printFindings emits one line per finding, with paths relative to root
+// so output is stable across checkouts.
+func printFindings(findings []lint.Finding, root string) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Rule)
+	}
+}
+
+// selectRules resolves a comma-separated -rules value against the suite.
+func selectRules(csv string) ([]*analysis.Analyzer, error) {
+	if csv == "" {
+		return lint.Analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range lint.Analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", name, ruleNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func ruleNames() string {
+	names := make([]string, len(lint.Analyzers))
+	for i, a := range lint.Analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

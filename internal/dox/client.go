@@ -285,6 +285,8 @@ func prefixMessage(wire []byte) []byte {
 
 // appendPrefixed encodes the message with its 2-byte length prefix in a
 // single right-sized buffer.
+//
+//simlint:hotpath
 func appendPrefixed(m *dnsmsg.Message) []byte {
 	wire := m.AppendEncode(make([]byte, 2, 2+512))
 	n := len(wire) - 2

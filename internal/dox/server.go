@@ -101,6 +101,8 @@ type udpJob struct {
 // serveUDPJob is the pre-bound adapter for DoUDP queries. The box is
 // freed as soon as its fields are read; the datagram buffer returns to
 // the pool right after decoding (Decode copies everything it keeps).
+//
+//simlint:hotpath
 func serveUDPJob(v any) {
 	j := v.(*udpJob)
 	s, sock, d := j.s, j.sock, j.d

@@ -405,7 +405,7 @@ func runE2(r *Runner) (string, error) {
 	var sb strings.Builder
 	sb.WriteString(t.String())
 	sb.WriteString("Top Autonomous Systems (paper: ORACLE 15.0%, DIGITALOCEAN 6.4%, MNGTNET 5.8%, OVHCLOUD 5.1%):\n")
-	keys := report.SortedKeys(res.ByASN)
+	keys := report.KeysByValue(res.ByASN)
 	for i, as := range keys {
 		if i >= 4 {
 			break
@@ -455,15 +455,15 @@ func runE3(r *Runner) (string, error) {
 	var sb strings.Builder
 	sb.WriteString("E3 — protocol version and feature shares (§3)\n")
 	sb.WriteString("QUIC versions (paper: v1 89.1%, draft-34 8.5%, draft-32 1.8%, draft-29 0.6%):\n")
-	for _, k := range report.SortedKeys(quicVer) {
+	for _, k := range report.KeysByValue(quicVer) {
 		fmt.Fprintf(&sb, "  %-10s %s\n", k, report.Pct(quicVer[k], doqN))
 	}
 	sb.WriteString("DoQ versions (paper: doq-i02 87.4%, doq-i03 10.8%, doq-i00 1.8%):\n")
-	for _, k := range report.SortedKeys(alpn) {
+	for _, k := range report.KeysByValue(alpn) {
 		fmt.Fprintf(&sb, "  %-10s %s\n", k, report.Pct(alpn[k], doqN))
 	}
 	sb.WriteString("TLS versions (paper: ~99% TLS 1.3):\n")
-	for _, k := range report.SortedKeys(tlsVer) {
+	for _, k := range report.KeysByValue(tlsVer) {
 		fmt.Fprintf(&sb, "  %-10s %s\n", k, report.Pct(tlsVer[k], encN))
 	}
 	fmt.Fprintf(&sb, "Session Resumption used: %s (paper: all TLS 1.3 measurements)\n", report.Pct(resumed, encN))

@@ -53,6 +53,7 @@ type Header struct {
 // setting, three settings).
 var settingsPayload = make([]byte, 18)
 
+//simlint:hotpath
 func writeFrame(s tlsmini.Stream, ftype, flags byte, streamID uint32, payload []byte) error {
 	buf := make([]byte, 9, 9+len(payload))
 	buf[0] = byte(len(payload) >> 16)

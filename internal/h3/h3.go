@@ -74,6 +74,8 @@ func settingsPayload() []byte {
 
 // appendFrame appends one HTTP/3 frame: type varint, length varint,
 // payload.
+//
+//simlint:hotpath
 func appendFrame(b []byte, ftype uint64, payload []byte) []byte {
 	b = quic.AppendVarint(b, ftype)
 	b = quic.AppendVarint(b, uint64(len(payload)))
@@ -405,6 +407,8 @@ type streamJob struct {
 // serveStreamJob is the shared pre-bound adapter; the box is returned
 // to the free list as soon as its fields are read (the world runs one
 // task at a time, so the accept loop cannot reuse it before then).
+//
+//simlint:hotpath
 func serveStreamJob(v any) {
 	j := v.(*streamJob)
 	srv, st := j.srv, j.st

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// The layering baseline is the ratchet: a committed file recording how
+// many sim.World references each protocol package is allowed to carry.
+// cmd/simlint fails only when a package's live count exceeds its
+// baseline, so existing debt compiles while new debt cannot land.
+// Regenerate (only to shrink) with `go run ./cmd/simlint -write-layering-baseline`.
+
+// Baseline maps package path -> tolerated layering-finding count.
+type Baseline map[string]int
+
+// ReadBaseline parses a baseline file. Blank lines and #-comments are
+// ignored; each entry is "<pkgpath> <count>". A missing file is an empty
+// baseline (every finding is new debt).
+func ReadBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Baseline{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	b := Baseline{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<pkgpath> <count>\", got %q", path, lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, lineNo, fields[1])
+		}
+		b[fields[0]] = n
+	}
+	return b, sc.Err()
+}
+
+// WriteBaseline writes counts in deterministic order with the ratchet
+// header.
+func WriteBaseline(path string, counts Baseline) error {
+	var sb strings.Builder
+	sb.WriteString("# simlint layering baseline: tolerated sim.World references per protocol package.\n")
+	sb.WriteString("# The count may only shrink. Regenerate with: go run ./cmd/simlint -write-layering-baseline\n")
+	for _, p := range report.SortedKeys(counts) {
+		if counts[p] > 0 {
+			fmt.Fprintf(&sb, "%s %d\n", p, counts[p])
+		}
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// ApplyBaseline splits layering findings into tolerated and failing
+// sets: for each package, up to baseline[pkg] findings are tolerated
+// (all of them if within budget; all flagged if over, so the developer
+// sees the whole debt of the package they just grew). It also returns
+// the packages whose count shrank below baseline, as a hint to ratchet
+// down.
+func ApplyBaseline(findings []Finding, base Baseline) (failing []Finding, counts Baseline, shrunk []string) {
+	counts = Baseline{}
+	var rest []Finding
+	for _, f := range findings {
+		if f.Rule == Layering.Name {
+			counts[f.PkgPath]++
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	failing = rest
+	for _, f := range findings {
+		if f.Rule == Layering.Name && counts[f.PkgPath] > base[f.PkgPath] {
+			failing = append(failing, f)
+		}
+	}
+	for p, allowed := range base {
+		if counts[p] < allowed {
+			shrunk = append(shrunk, fmt.Sprintf("%s %d -> %d", p, allowed, counts[p]))
+		}
+	}
+	sort.Strings(shrunk)
+	return failing, counts, shrunk
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Layering reports direct sim.World references from protocol packages.
+var Layering = &analysis.Analyzer{
+	Name: "layering",
+	Doc: `forbid direct sim.World references in protocol packages
+
+The ROADMAP's multi-backend refactor needs protocol code (dnsmsg, dox,
+h2, h3, quic, tcpsim, tlsmini, dnsproxy) written against a narrow
+scheduling interface rather than the concrete simulation kernel, so that
+the same protocol machines can run on a different backend. Every
+reference to the sim.World type from a protocol package is reported;
+cmd/simlint ratchets the count against the committed baseline
+(internal/lint/layering_baseline.txt): existing debt is tolerated, new
+debt fails the build. Shrink the baseline as references are removed.`,
+	Run: runLayering,
+}
+
+func runLayering(pass *analysis.Pass) error {
+	if !isProtocolPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != "World" {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if isSimPkgPath(obj.Pkg().Path()) {
+			pass.Reportf(id.Pos(), "protocol package %s references sim.World directly; depend on a narrower scheduling interface (layering ratchet)", pass.Pkg.Name())
+		}
+		return true
+	})
+	return nil
+}

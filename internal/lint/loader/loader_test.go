@@ -1,0 +1,63 @@
+package loader
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this file to the directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestLoadModuleTypeChecks(t *testing.T) {
+	pkgs, err := LoadModule(moduleRoot(t), "./internal/report", "./internal/bytepool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.Path)
+		}
+	}
+	rep := byPath["repro/internal/report"]
+	if rep == nil {
+		t.Fatalf("missing repro/internal/report; have %v", pkgs)
+	}
+	// The stats import must have resolved through export data.
+	obj := rep.Types.Scope().Lookup("CDFSummary")
+	if obj == nil {
+		t.Fatal("report.CDFSummary not found")
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 5 {
+		t.Fatalf("CDFSummary params = %d, want 5", sig.Params().Len())
+	}
+	if got := sig.Params().At(1).Type().String(); got != "*repro/internal/stats.CDF" {
+		t.Fatalf("param 1 type = %s", got)
+	}
+}
+
+func TestLoadModuleWholeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	pkgs, err := LoadModule(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("got %d packages, expected the whole tree", len(pkgs))
+	}
+}

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapOrder flags order-dependent effects inside map iteration.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map-range loops with order-dependent effects
+
+Go randomizes map iteration order, so a map-range loop that appends to a
+slice, writes output, or schedules simulation work bakes nondeterminism
+into results — the exact shape of the PR 1 wakeup bug, where failure
+paths woke blocked tasks in map order. Order-independent bodies
+(aggregation, writes into another map, deletes) are fine, as is the
+collect-keys-then-sort idiom: an append whose target is sorted later in
+the same block is not flagged. Prefer iterating report.SortedKeys(m).`,
+	Run: runMapOrder,
+}
+
+// orderedSinkMethods are method names whose invocation inside a map
+// range emits in iteration order: stream/builder writes and sim
+// scheduling. The receiver package narrows the sim set below.
+var simScheduleMethods = map[string]bool{
+	"Go": true, "GoCall": true, "AfterFunc": true, "AfterCall": true, "Push": true,
+}
+
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Add": true, // report.Table.Add builds output rows in call order
+}
+
+// fmtOutputFuncs write formatted output in call order.
+var fmtOutputFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges walks a function body looking for map-range statements,
+// keeping track of the statement list that encloses each so the
+// sorted-later suppression can look at the loop's siblings.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	var walkStmts func(list []ast.Stmt)
+	var walkStmt func(s ast.Stmt, rest []ast.Stmt)
+
+	walkStmts = func(list []ast.Stmt) {
+		for i, s := range list {
+			walkStmt(s, list[i+1:])
+		}
+	}
+	walkStmt = func(s ast.Stmt, rest []ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(s.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRangeBody(pass, s, rest)
+				}
+			}
+			walkStmts(s.Body.List)
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			walkStmts(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else, rest)
+			}
+		case *ast.ForStmt:
+			walkStmts(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CommClause).Body)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, rest)
+		}
+	}
+	walkStmts(body.List)
+}
+
+// checkMapRangeBody reports order-dependent effects inside one map-range
+// loop. rest is the statement list following the loop in its enclosing
+// block, used to recognize the collect-then-sort idiom.
+func checkMapRangeBody(pass *analysis.Pass, loop *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges are visited on their own.
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && n != loop {
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			return false // deferred/goroutine bodies judged too coarsely
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(target)
+				if obj == nil || declaredWithin(pass, obj, loop) {
+					continue
+				}
+				if sortedInStmts(pass, obj, rest) || sortedInStmts(pass, obj, loop.Body.List) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "append to %s inside map iteration without a later sort makes its order nondeterministic; sort afterwards or range over report.SortedKeys", target.Name)
+			}
+		case *ast.CallExpr:
+			reportOrderedSink(pass, n)
+		}
+		return true
+	})
+}
+
+// reportOrderedSink flags calls that emit in iteration order.
+func reportOrderedSink(pass *analysis.Pass, call *ast.CallExpr) {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		if f.Pkg().Path() == "fmt" && fmtOutputFuncs[f.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration writes output in nondeterministic order; iterate sorted keys (report.SortedKeys)", f.Name())
+		}
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	switch {
+	case isSimPkgPath(pkgPath) && simScheduleMethods[f.Name()]:
+		pass.Reportf(call.Pos(), "%s.%s inside map iteration schedules simulation work in nondeterministic order (the PR 1 wakeup-bug shape); collect and sort first", named.Obj().Name(), f.Name())
+	case writerMethods[f.Name()] && writesInCallOrder(pkgPath, named.Obj().Name(), f.Name()):
+		pass.Reportf(call.Pos(), "%s.%s inside map iteration emits output in nondeterministic order; iterate sorted keys (report.SortedKeys)", named.Obj().Name(), f.Name())
+	}
+}
+
+// writesInCallOrder limits the writer-method heuristic to the types that
+// actually accumulate ordered output: strings.Builder, bytes.Buffer,
+// anything satisfying io.Writer by name, and report.Table.
+func writesInCallOrder(pkgPath, typeName, method string) bool {
+	switch {
+	case pkgPath == "strings" && typeName == "Builder":
+		return true
+	case pkgPath == "bytes" && typeName == "Buffer":
+		return true
+	case method == "Add":
+		segs := pathSegments(pkgPath)
+		return segs[len(segs)-1] == "report" && typeName == "Table"
+	case method == "Write" || method == "WriteString":
+		return pkgPath == "os" || pkgPath == "bufio" || pkgPath == "io"
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(pass *analysis.Pass, obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// sortedInStmts reports whether any statement in list passes obj to a
+// sort.* or slices.Sort* function (the deterministic-order idiom).
+func sortedInStmts(pass *analysis.Pass, obj types.Object, list []ast.Stmt) bool {
+	for _, s := range list {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			isSorter := (f.Pkg().Path() == "sort") ||
+				(f.Pkg().Path() == "slices" && (f.Name() == "Sort" || f.Name() == "SortFunc" || f.Name() == "SortStableFunc"))
+			if !isSorter {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, obj) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// host's wall clock. time.Duration arithmetic and constants are fine —
+// virtual time is expressed in time.Duration — but any call below makes
+// simulation output depend on real elapsed time and breaks reproduction.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock forbids wall-clock time in deterministic packages.
+var NoWallClock = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: `forbid wall-clock time in internal/... packages
+
+Simulation code runs on virtual time (sim.World.Now, sim.World.Sleep,
+sim timers). Calling time.Now, time.Since, time.After, time.Sleep, or a
+timer constructor couples results to the host clock and breaks the
+byte-identical-reports guarantee. Commands under cmd/ are exempt: they
+time campaigns for stderr progress lines, which never reach report
+output.`,
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *analysis.Pass) error {
+	if isCmdPkg(pass.Pkg.Path()) || !isInternalPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+			return true
+		}
+		if wallClockFuncs[f.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; use the sim.World virtual clock (World.Now, World.Sleep, World.AfterFunc)", f.Name())
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,65 @@
+package lint
+
+import "strings"
+
+// pathSegments splits an import path on "/".
+func pathSegments(path string) []string { return strings.Split(path, "/") }
+
+// isInternalPkg reports whether path is a deterministic simulation
+// package: anything under an internal/ tree. The whole repository's
+// library code lives in repro/internal/..., so this is the scope where
+// virtual-time and seeded-randomness rules apply.
+func isInternalPkg(path string) bool {
+	for _, seg := range pathSegments(path) {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// isCmdPkg reports whether path is a command: binaries under cmd/ are
+// allowed to measure wall-clock time for stderr progress reporting.
+func isCmdPkg(path string) bool {
+	for _, seg := range pathSegments(path) {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// protocolPkgNames are the wire-protocol implementation packages the
+// layering rule keeps off sim.World: the ROADMAP's multi-backend
+// refactor needs protocol code bound to a narrow scheduling interface,
+// not to the concrete kernel. netem is deliberately absent — the network
+// emulator is kernel-adjacent infrastructure, not protocol code.
+var protocolPkgNames = map[string]bool{
+	"dnsmsg":   true,
+	"dnsproxy": true,
+	"dox":      true,
+	"h2":       true,
+	"h3":       true,
+	"quic":     true,
+	"tcpsim":   true,
+	"tlsmini":  true,
+}
+
+// isProtocolPkg reports whether path is one of the protocol packages.
+func isProtocolPkg(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && protocolPkgNames[segs[len(segs)-1]]
+}
+
+// isSimPkgPath reports whether path is the simulation kernel package
+// (last segment exactly "sim" under an internal tree).
+func isSimPkgPath(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && segs[len(segs)-1] == "sim"
+}
+
+// isBytepoolPath reports whether path is the byte-pool package.
+func isBytepoolPath(path string) bool {
+	segs := pathSegments(path)
+	return segs[len(segs)-1] == "bytepool"
+}

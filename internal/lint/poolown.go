@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// PoolOwn checks bytepool lease discipline inside each function.
+var PoolOwn = &analysis.Analyzer{
+	Name: "poolown",
+	Doc: `check bytepool.Pool lease discipline
+
+A leased buffer has exactly one owner. Within a function, a variable
+bound to Pool.Get must be released with Pool.Put, or its ownership must
+visibly transfer: passed to a call (netem Send owns payloads it is
+given), returned, or stored into a longer-lived structure. The analyzer
+flags three bug classes, conservatively (straight-line must-analysis, so
+every report is real):
+
+  - leak: a Get-bound variable that is never Put and never escapes
+  - double-Put: the same variable Put twice with no rebinding between
+  - use-after-Put: the variable read or passed onward after Put
+
+Buffers handed around as struct fields are out of scope; the rule tracks
+local variables, which is where the PR 5/6 pooling bugs lived.`,
+	Run: runPoolOwn,
+}
+
+// poolCallKind classifies a call as bytepool Get/Put on a Pool receiver.
+func poolCallKind(pass *analysis.Pass, call *ast.CallExpr) string {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if f.Name() != "Get" && f.Name() != "Put" {
+		return ""
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if !isBytepoolPath(named.Obj().Pkg().Path()) {
+		return ""
+	}
+	return f.Name()
+}
+
+// leaseState is a may-analysis bitset for one tracked variable.
+type leaseState uint8
+
+const (
+	stOwned leaseState = 1 << iota
+	stReleased
+	stTransferred
+)
+
+type poolTracker struct {
+	pass  *analysis.Pass
+	state map[types.Object]leaseState
+	// getPos remembers where each tracked variable was leased, for the
+	// leak report at function exit.
+	getPos map[types.Object]ast.Node
+}
+
+func runPoolOwn(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		t := &poolTracker{
+			pass:   pass,
+			state:  make(map[types.Object]leaseState),
+			getPos: make(map[types.Object]ast.Node),
+		}
+		t.walkStmts(fn.Body.List)
+		for obj, st := range t.state {
+			if st == stOwned { // must-owned on every path: definite leak
+				t.pass.Reportf(t.getPos[obj].Pos(), "%s is leased from a bytepool but never Put and never transferred; release it or hand ownership on", obj.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func (t *poolTracker) copyState() map[types.Object]leaseState {
+	c := make(map[types.Object]leaseState, len(t.state))
+	for k, v := range t.state {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeStates joins branch outcomes: union of possible states.
+func mergeStates(states ...map[types.Object]leaseState) map[types.Object]leaseState {
+	out := make(map[types.Object]leaseState)
+	for _, s := range states {
+		for k, v := range s {
+			out[k] |= v
+		}
+	}
+	return out
+}
+
+func (t *poolTracker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		t.walkStmt(s)
+	}
+}
+
+func (t *poolTracker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		t.assign(s)
+	case *ast.ExprStmt:
+		t.expr(s.X)
+	case *ast.DeferStmt:
+		// defer pool.Put(b) releases at exit: ownership is discharged,
+		// and later uses in the body remain valid, so mark transferred.
+		if poolCallKind(t.pass, s.Call) == "Put" {
+			if obj := t.trackedArg(s.Call); obj != nil {
+				t.state[obj] |= stTransferred
+				t.state[obj] &^= stOwned
+			}
+		} else {
+			t.expr(s.Call)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t.escapeIn(r)
+		}
+	case *ast.GoStmt:
+		t.expr(s.Call)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init)
+		}
+		t.exprUses(s.Cond)
+		before := t.copyState()
+		t.walkStmts(s.Body.List)
+		thenState := t.state
+		t.state = before
+		if s.Else != nil {
+			t.walkStmt(s.Else)
+		}
+		t.state = mergeStates(thenState, t.state)
+	case *ast.BlockStmt:
+		t.walkStmts(s.List)
+	case *ast.ForStmt:
+		t.loopBody(s.Body, s.Init, s.Cond, s.Post)
+	case *ast.RangeStmt:
+		t.exprUses(s.X)
+		t.loopBody(s.Body, nil, nil, nil)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init)
+		}
+		t.exprUses(s.Tag)
+		t.branches(s.Body)
+	case *ast.TypeSwitchStmt:
+		t.branches(s.Body)
+	case *ast.SelectStmt:
+		t.branches(s.Body)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						t.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		t.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		t.exprUses(s.X)
+	case *ast.SendStmt:
+		t.escapeIn(s.Value)
+	}
+}
+
+// branches analyzes each case body independently and unions the results.
+func (t *poolTracker) branches(body *ast.BlockStmt) {
+	before := t.copyState()
+	results := []map[types.Object]leaseState{before}
+	for _, c := range body.List {
+		t.state = mergeStates(before) // fresh copy
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			t.walkStmts(c.Body)
+		case *ast.CommClause:
+			t.walkStmts(c.Body)
+		}
+		results = append(results, t.state)
+	}
+	t.state = mergeStates(results...)
+}
+
+// loopBody analyzes a loop body once and unions with the pre-state: a
+// lease both created and discharged inside the body stays balanced.
+func (t *poolTracker) loopBody(body *ast.BlockStmt, init, cond, post ast.Node) {
+	if s, ok := init.(ast.Stmt); ok && s != nil {
+		t.walkStmt(s)
+	}
+	if e, ok := cond.(ast.Expr); ok && e != nil {
+		t.exprUses(e)
+	}
+	before := t.copyState()
+	t.walkStmts(body.List)
+	if s, ok := post.(ast.Stmt); ok && s != nil {
+		t.walkStmt(s)
+	}
+	t.state = mergeStates(before, t.state)
+}
+
+// assign handles b := pool.Get(n), rebinding, and escapes via composite
+// or indexed stores.
+func (t *poolTracker) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		t.expr(r)
+	}
+	for i, lhs := range s.Lhs {
+		id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+		if !isIdent {
+			// Store into a field/slice/map: anything tracked on the RHS
+			// escapes there.
+			if i < len(s.Rhs) {
+				t.escapeIn(s.Rhs[i])
+			}
+			t.exprUses(lhs)
+			continue
+		}
+		obj := t.pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		// Rebinding clears any previous lease state — unless the RHS is
+		// derived from the variable itself (b = append(b, ...) and
+		// b = b[:0] keep the same lease).
+		if _, tracked := t.state[obj]; tracked {
+			selfDerived := false
+			for _, r := range s.Rhs {
+				if mentionsObject(t.pass, r, obj) {
+					selfDerived = true
+				}
+			}
+			if selfDerived {
+				continue
+			}
+		}
+		delete(t.state, obj)
+		if i < len(s.Rhs) || len(s.Rhs) == 1 {
+			ri := i
+			if len(s.Rhs) == 1 {
+				ri = 0
+			}
+			if call, ok := ast.Unparen(s.Rhs[ri]).(*ast.CallExpr); ok && len(s.Lhs) == len(s.Rhs) {
+				if poolCallKind(t.pass, call) == "Get" {
+					t.state[obj] = stOwned
+					t.getPos[obj] = s
+				}
+			}
+		}
+	}
+}
+
+// expr walks an expression for pool calls and tracked-variable uses.
+func (t *poolTracker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch poolCallKind(t.pass, e) {
+		case "Put":
+			if obj := t.trackedArg(e); obj != nil {
+				if t.state[obj] == stReleased {
+					t.pass.Reportf(e.Pos(), "%s is Put twice on the same path (double release corrupts the free list); nil or rebind it after the first Put", obj.Name())
+				}
+				t.state[obj] = stReleased
+				return
+			}
+			// Put of an untracked expression (field, call result):
+			// evaluate arguments normally.
+			for _, a := range e.Args {
+				t.exprUses(a)
+			}
+			return
+		case "Get":
+			// Bare Get whose result feeds an enclosing expression: the
+			// caller (assign / escapeIn) decides tracking; a Get used
+			// directly as a call argument transfers ownership to the
+			// callee, which is fine.
+			for _, a := range e.Args {
+				t.exprUses(a)
+			}
+			return
+		}
+		// Builtins (len, cap, append, copy, delete, ...) read the
+		// buffer without taking ownership.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := t.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				for _, a := range e.Args {
+					t.exprUses(a)
+				}
+				return
+			}
+		}
+		// Ordinary call: tracked variables passed as arguments are a
+		// use (flag if released) and then an ownership transfer.
+		t.exprUses(e.Fun)
+		for _, a := range e.Args {
+			t.escapeIn(a)
+		}
+	case *ast.FuncLit:
+		// Closure bodies get their own conservative pass: uses count,
+		// transfers count, but no reports from inside (the closure may
+		// run later).
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := t.pass.TypesInfo.Uses[id]; obj != nil {
+					if _, tracked := t.state[obj]; tracked {
+						t.state[obj] |= stTransferred
+						t.state[obj] &^= stOwned
+					}
+				}
+			}
+			return true
+		})
+	default:
+		t.exprUses(e)
+	}
+}
+
+// exprUses records reads of tracked variables, reporting use-after-Put.
+func (t *poolTracker) exprUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			t.expr(call)
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := t.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st, tracked := t.state[obj]; tracked && st == stReleased {
+			t.pass.Reportf(id.Pos(), "%s is used after Put returned it to the bytepool; the buffer may already be re-leased", obj.Name())
+			t.state[obj] |= stTransferred // report once per path
+		}
+		return true
+	})
+}
+
+// escapeIn marks tracked variables inside e as transferred (stored,
+// returned, or passed on), and still reports use-after-Put.
+func (t *poolTracker) escapeIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	t.exprUses(e)
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Builtins read without taking ownership: len(b), cap(b)
+			// escape nothing.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := t.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := t.pass.TypesInfo.Uses[n]; obj != nil {
+				if _, tracked := t.state[obj]; tracked {
+					t.state[obj] |= stTransferred
+					t.state[obj] &^= stOwned
+				}
+			}
+		}
+		return true
+	})
+}
+
+// trackedArg returns the object of a single-identifier argument to a
+// pool call, or nil.
+func (t *poolTracker) trackedArg(call *ast.CallExpr) types.Object {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := t.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, tracked := t.state[obj]; !tracked {
+		return nil
+	}
+	return obj
+}

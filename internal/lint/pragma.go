@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow pragmas record intentional, reviewed exceptions in the source:
+//
+//	//simlint:allow <rule> <reason>
+//
+// The pragma suppresses diagnostics of <rule> reported on the same line
+// (trailing comment) or on the line directly below (own-line comment).
+// The reason is mandatory: an allow pragma without one is itself a
+// finding, so every exception carries its justification in the diff that
+// introduces it.
+const allowPrefix = "//simlint:allow"
+
+// pragma is one parsed //simlint:allow comment.
+type pragma struct {
+	pos    token.Pos
+	rule   string
+	reason string
+	line   int
+}
+
+// pragmaIndex maps file name -> line -> pragmas taking effect there.
+type pragmaIndex struct {
+	fset  *token.FileSet
+	byPos map[string]map[int][]*pragma
+}
+
+// scanPragmas parses every //simlint:allow comment in files. Malformed
+// pragmas (missing rule, unknown rule, missing reason) are reported
+// through report with the pseudo-rule "pragma"; known ranges from
+// ruleNames.
+func scanPragmas(fset *token.FileSet, files []*ast.File, ruleNames map[string]bool, report func(pos token.Pos, msg string)) *pragmaIndex {
+	idx := &pragmaIndex{fset: fset, byPos: make(map[string]map[int][]*pragma)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //simlint:allowance — not ours
+				}
+				// A nested "//" ends the pragma (used by fixtures to
+				// attach // want expectations to the pragma line).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				p := &pragma{pos: c.Pos()}
+				if len(fields) == 0 {
+					report(c.Pos(), "simlint:allow pragma names no rule")
+					continue
+				}
+				p.rule = fields[0]
+				if !ruleNames[p.rule] {
+					report(c.Pos(), "simlint:allow pragma names unknown rule "+p.rule)
+					continue
+				}
+				p.reason = strings.Join(fields[1:], " ")
+				if p.reason == "" {
+					report(c.Pos(), "simlint:allow "+p.rule+" needs a reason (//simlint:allow "+p.rule+" <why>)")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				p.line = pos.Line
+				m := idx.byPos[pos.Filename]
+				if m == nil {
+					m = make(map[int][]*pragma)
+					idx.byPos[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], p)
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic of rule at pos is suppressed by a
+// pragma on the same line (trailing) or the line above (own-line).
+func (idx *pragmaIndex) allowed(pos token.Pos, rule string) bool {
+	p := idx.fset.Position(pos)
+	m := idx.byPos[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, pr := range m[line] {
+			if pr.rule == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level
+// functions that draw from the process-global source. The global source
+// is shared across goroutines and seeded per process, so any draw from
+// it leaks nondeterminism into simulation output.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "UintN": true, "N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// SeededRand forbids unseeded randomness in deterministic packages.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: `forbid global math/rand functions and crypto/rand in internal/...
+
+Deterministic packages must draw randomness from a *rand.Rand seeded via
+sim.DeriveSeed (or from a World's Rand()), so that every stream is a pure
+function of the campaign seed. Top-level math/rand functions use the
+shared process-global source; crypto/rand is entropy by design. Both
+break byte-identical reproduction.`,
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *analysis.Pass) error {
+	if isCmdPkg(pass.Pkg.Path()) || !isInternalPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := analysis.CalleeFunc(pass.TypesInfo, n)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			switch f.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[f.Name()] && isPackageLevel(pass, n) {
+					pass.Reportf(n.Pos(), "rand.%s draws from the process-global source; use a *rand.Rand seeded via sim.DeriveSeed", f.Name())
+				}
+			}
+		case *ast.SelectorExpr:
+			// Any reference into crypto/rand (rand.Reader, rand.Read,
+			// rand.Int, ...) is real entropy.
+			if obj := pass.TypesInfo.Uses[n.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "crypto/rand" {
+				pass.Reportf(n.Pos(), "crypto/rand.%s is nondeterministic entropy; deterministic packages must derive randomness from the campaign seed", n.Sel.Name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isPackageLevel reports whether call invokes a package-level function
+// (not a method): rand.Intn matches, rng.Intn does not.
+func isPackageLevel(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	return f.Type().(*types.Signature).Recv() == nil
+}

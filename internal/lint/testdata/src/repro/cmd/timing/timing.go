@@ -1,0 +1,19 @@
+// Package timing shows the cmd/... allowlist: commands may read the
+// wall clock for stderr progress lines and draw untracked jitter —
+// neither reaches report output.
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Report(start time.Time, n int) {
+	fmt.Fprintf(os.Stderr, "%d reports in %.1fs\n", n, time.Since(start).Seconds())
+}
+
+func SplashJitter() int {
+	return rand.Intn(3)
+}

@@ -1,0 +1,21 @@
+// Package badpragma exercises pragma validation: an allow pragma must
+// name a known rule and carry a reason, or it is itself a finding and
+// suppresses nothing.
+package badpragma
+
+import "time"
+
+func MissingReason() time.Time {
+	//simlint:allow nowallclock // want `simlint:allow nowallclock needs a reason`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func NoRule() {
+	//simlint:allow // want `simlint:allow pragma names no rule`
+	_ = 0
+}
+
+func UnknownRule() {
+	//simlint:allow speedlimit because I said so // want `simlint:allow pragma names unknown rule speedlimit`
+	_ = 0
+}

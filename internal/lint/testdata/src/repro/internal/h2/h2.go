@@ -1,0 +1,16 @@
+// Package h2 is a fixture protocol package for the layering rule.
+package h2
+
+import "repro/internal/sim"
+
+type Conn struct {
+	w *sim.World // want `protocol package h2 references sim\.World directly`
+}
+
+func Dial(w *sim.World) *Conn { // want `protocol package h2 references sim\.World directly`
+	return &Conn{w: w}
+}
+
+func Attach(w *sim.World) *Conn { //simlint:allow layering transitional constructor until the scheduler interface lands
+	return &Conn{w: w}
+}

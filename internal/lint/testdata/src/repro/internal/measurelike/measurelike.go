@@ -1,0 +1,9 @@
+// Package measurelike shows the layering rule scoping: measurement
+// orchestration is not a protocol package, so it may hold sim.World.
+package measurelike
+
+import "repro/internal/sim"
+
+type Campaign struct{ w *sim.World }
+
+func Run(w *sim.World) *Campaign { return &Campaign{w: w} }

@@ -1,0 +1,86 @@
+package pooluser
+
+import "repro/internal/bytepool"
+
+func Leak(p *bytepool.Pool, n int) int {
+	b := p.Get(n) // want `b is leased from a bytepool but never Put and never transferred`
+	b = append(b, 0)
+	return len(b)
+}
+
+func GetPutOK(p *bytepool.Pool, n int) int {
+	b := p.Get(n)
+	b = append(b, 0)
+	m := len(b)
+	p.Put(b)
+	return m
+}
+
+func DoublePut(p *bytepool.Pool, n int) {
+	b := p.Get(n)
+	p.Put(b)
+	p.Put(b) // want `b is Put twice on the same path`
+}
+
+// UseAfterPut reproduces the bytepool retention bug class: reading a
+// buffer after returning it to the pool, when it may already be
+// re-leased and overwritten.
+func UseAfterPut(p *bytepool.Pool, n int) byte {
+	b := p.Get(n)
+	b = append(b, 7)
+	p.Put(b)
+	return b[0] // want `b is used after Put returned it to the bytepool`
+}
+
+func AppendAfterPut(p *bytepool.Pool, n int) {
+	b := p.Get(n)
+	p.Put(b)
+	b = append(b, 1) // want `b is used after Put returned it to the bytepool`
+	_ = b
+}
+
+// BranchedPutOK releases on the drop path and hands the buffer to the
+// caller otherwise; neither path leaks.
+func BranchedPutOK(p *bytepool.Pool, n int, drop bool) []byte {
+	b := p.Get(n)
+	if drop {
+		p.Put(b)
+		return nil
+	}
+	return b
+}
+
+// TransferOK: passing the buffer to a call transfers ownership (the
+// netem Send contract).
+func TransferOK(p *bytepool.Pool, send func([]byte), n int) {
+	b := p.Get(n)
+	b = append(b, 0xCA)
+	send(b)
+}
+
+// DirectHandoffOK never binds the lease to a variable: ownership flows
+// straight into the callee.
+func DirectHandoffOK(p *bytepool.Pool, send func([]byte), n int) {
+	send(p.Get(n))
+}
+
+func DeferPutOK(p *bytepool.Pool, n int) int {
+	b := p.Get(n)
+	defer p.Put(b)
+	b = append(b, 1)
+	return len(b)
+}
+
+// StoreOK retains the buffer in a struct: ownership transfers to the
+// holder, whose own discipline is out of intra-function scope.
+type frame struct{ buf []byte }
+
+func StoreOK(p *bytepool.Pool, f *frame, n int) {
+	b := p.Get(n)
+	f.buf = b
+}
+
+func AllowedLeak(p *bytepool.Pool, n int) {
+	b := p.Get(n) //simlint:allow poolown buffer intentionally parked; released by the pool's world teardown
+	_ = b
+}

@@ -1,0 +1,31 @@
+package randuser
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+func BadGlobal() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return rand.Intn(10)               // want `rand\.Intn draws from the process-global source`
+}
+
+func BadEntropy(b []byte) {
+	crand.Read(b) // want `crypto/rand\.Read is nondeterministic entropy`
+}
+
+func BadEntropyVar() any {
+	return crand.Reader // want `crypto/rand\.Reader is nondeterministic entropy`
+}
+
+// Seeded streams are the sanctioned idiom.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(seed, 7)))
+	return rng.Intn(10)
+}
+
+func Allowed() float64 {
+	return rand.Float64() //simlint:allow seededrand operator-facing sampling knob, never inside a World
+}

@@ -1,0 +1,15 @@
+// Package sim is a fixture stand-in for the real simulation kernel:
+// just the World surface the analyzers pattern-match against.
+package sim
+
+import "time"
+
+type World struct{ now time.Duration }
+
+func (w *World) Now() time.Duration                               { return w.now }
+func (w *World) Go(fn func())                                     {}
+func (w *World) GoCall(fn func(any), arg any)                     {}
+func (w *World) AfterFunc(d time.Duration, fn func())             {}
+func (w *World) AfterCall(d time.Duration, fn func(any), arg any) {}
+
+func DeriveSeed(seed int64, salts ...uint64) int64 { return seed }

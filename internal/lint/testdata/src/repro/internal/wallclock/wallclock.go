@@ -1,0 +1,28 @@
+package wallclock
+
+import "time"
+
+func Bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time\.After reads the wall clock`
+	t := time.NewTimer(0)        // want `time\.NewTimer reads the wall clock`
+	t.Stop()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Duration arithmetic and constants are virtual-time currency, not wall
+// clock.
+func DurationOK(d time.Duration) time.Duration {
+	return 2*d + 500*time.Millisecond
+}
+
+func AllowedTrailing() time.Time {
+	return time.Now() //simlint:allow nowallclock seeding a demo, value never reaches report output
+}
+
+func AllowedAbove() time.Duration {
+	//simlint:allow nowallclock coarse host-side watchdog, compared only against itself
+	since := time.Since(time.Unix(0, 0))
+	return since
+}

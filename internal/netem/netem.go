@@ -570,6 +570,7 @@ func (n *Network) arrive(fl *inflight) {
 	n.deliverInflight(fl)
 }
 
+//simlint:hotpath
 func (n *Network) deliverInflight(fl *inflight) {
 	d := fl.d
 	n.putInflight(fl)
@@ -579,6 +580,8 @@ func (n *Network) deliverInflight(fl *inflight) {
 // deliver hands a datagram to the destination socket, if any. Ownership
 // of the payload transfers to the receiver, which releases it to the
 // pool after parsing.
+//
+//simlint:hotpath
 func (n *Network) deliver(d Datagram) {
 	host, ok := n.hosts[d.Dst.Addr()]
 	if !ok {
@@ -694,6 +697,8 @@ func (s *Socket) Pool() *bytepool.Pool { return &s.host.net.pool }
 // the network (it is not copied, and callers must not reuse the slice):
 // the network releases it to the pool on drop, or hands it to the
 // receiving socket, whose reader releases it after parsing.
+//
+//simlint:hotpath
 func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
 	if s.closed {
 		s.host.net.pool.Put(payload)
@@ -704,6 +709,7 @@ func (s *Socket) Send(dst netip.AddrPort, payload []byte) {
 	s.host.net.send(Datagram{Proto: s.proto, Src: s.local, Dst: dst, Payload: payload}, len(payload)+s.overhead)
 }
 
+//simlint:hotpath
 func (s *Socket) deliver(d Datagram) {
 	if s.closed {
 		s.host.net.pool.Put(d.Payload)

@@ -3,9 +3,10 @@ package quic
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
 	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/netem"
@@ -325,12 +326,7 @@ func (c *Conn) teardown(err error) {
 	c.closeErr = err
 	c.ptoTimer.Stop()
 	c.ptoTimer = sim.Timer{}
-	ids := make([]uint64, 0, len(c.streams))
-	for id := range c.streams {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	for _, id := range ids {
+	for _, id := range slices.Sorted(maps.Keys(c.streams)) {
 		c.streams[id].shutdown()
 	}
 	c.acceptQ.Close()
@@ -429,6 +425,8 @@ const maxPlain = maxDatagram - 60 - tlsmini.AEADOverhead
 
 // sendInSpace packs frames into packets in the given space and transmits
 // them (coalescing into datagrams, padding Initial datagrams).
+//
+//simlint:hotpath
 func (c *Conn) sendInSpace(space int, frames []*frame) {
 	if c.closed && frames[0].kind != frConnClose {
 		return
@@ -455,6 +453,7 @@ func (c *Conn) sendInSpace(space int, frames []*frame) {
 	pool := c.sock.Pool()
 	var dgram []byte
 	hasInitial := false
+	//simlint:allow hotalloc flush never escapes sendInSpace, so its captures stay on the stack (allocs guarded by TestPooledDatagramPathZeroAlloc)
 	flush := func() {
 		if len(dgram) == 0 {
 			return
@@ -515,6 +514,8 @@ func countRetransmittable(frames []*frame) int {
 // that many PADDING bytes. When the space's keys are not yet available
 // the packet is dropped and dst is returned unchanged (the packet
 // number is still consumed, matching RFC-style monotonic numbering).
+//
+//simlint:hotpath
 func (c *Conn) appendPacket(dst []byte, space int, frames []*frame, pad int) []byte {
 	sp := c.spaces[space]
 	pn := sp.nextPN
@@ -973,11 +974,7 @@ func (c *Conn) onPTO() {
 		for i, sp := range c.spaces {
 			// Deterministic retransmission order (packet-number order):
 			// map iteration order must not leak into the wire image.
-			pns := make([]uint64, 0, len(sp.sent))
-			for pn := range sp.sent {
-				pns = append(pns, pn)
-			}
-			sort.Slice(pns, func(a, b int) bool { return pns[a] < pns[b] })
+			pns := slices.Sorted(maps.Keys(sp.sent))
 			var resend []*frame
 			for _, pn := range pns {
 				ent := sp.sent[pn]

@@ -4,7 +4,10 @@
 package report
 
 import (
+	"cmp"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 
@@ -86,19 +89,18 @@ func CDFSummary(name string, c *stats.CDF, thresholds []float64, lo, hi float64)
 	return sb.String()
 }
 
-// SortedKeys returns map keys sorted by their descending values (for
-// AS-distribution style listings).
-func SortedKeys(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if m[keys[i]] != m[keys[j]] {
-			return m[keys[i]] > m[keys[j]]
-		}
-		return keys[i] < keys[j]
-	})
+// SortedKeys returns the map's keys in ascending order. It is the one
+// idiom for deterministic map iteration; the maporder lint rule points
+// here.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// KeysByValue returns map keys sorted by their descending values (for
+// AS-distribution style listings), keys ascending on ties.
+func KeysByValue(m map[string]int) []string {
+	keys := SortedKeys(m)
+	sort.SliceStable(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
 	return keys
 }
 

@@ -60,10 +60,20 @@ func TestCDFSummaryContainsThresholds(t *testing.T) {
 	}
 }
 
-func TestSortedKeysByValueDescending(t *testing.T) {
+func TestKeysByValueDescending(t *testing.T) {
 	m := map[string]int{"a": 1, "b": 3, "c": 2, "d": 3}
-	got := SortedKeys(m)
+	got := KeysByValue(m)
 	want := []string{"b", "d", "c", "a"} // ties break lexicographically
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KeysByValue = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedKeysAscending(t *testing.T) {
+	got := SortedKeys(map[int]string{3: "c", 1: "a", 2: "b"})
+	want := []int{1, 2, 3}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("SortedKeys = %v, want %v", got, want)

@@ -191,6 +191,8 @@ func (w *World) workerExit(t *task) {
 // Go spawns fn as a new task. It may be called from the host goroutine
 // before Run, or from any running task. The task starts in FIFO order
 // behind already-runnable tasks.
+//
+//simlint:hotpath
 func (w *World) Go(fn func()) {
 	t := w.getWorker()
 	t.fn = fn
@@ -200,6 +202,8 @@ func (w *World) Go(fn func()) {
 // GoCall is Go for a pre-bound callback: it spawns fn(arg) as a new task
 // without forcing the caller to allocate a fresh closure per spawn. fn is
 // typically a long-lived adapter and arg a pooled object.
+//
+//simlint:hotpath
 func (w *World) GoCall(fn func(any), arg any) {
 	t := w.getWorker()
 	t.fnArg, t.arg = fn, arg
@@ -214,6 +218,8 @@ func (w *World) GoCall(fn func(any), arg any) {
 // beyond the RunFor deadline (in which case the clock is capped at the
 // deadline). After a successful dispatch the caller must not touch
 // kernel state: the woken task owns it.
+//
+//simlint:hotpath
 func (w *World) dispatch() bool {
 	if t, ok := w.runq.pop(); ok {
 		w.cur = t
@@ -251,6 +257,8 @@ func (w *World) dispatch() bool {
 
 // handoff cedes the CPU: dispatch the next item, or tell the host the
 // world is quiescent.
+//
+//simlint:hotpath
 func (w *World) handoff() {
 	if !w.dispatch() {
 		w.hostWake <- struct{}{}
@@ -325,6 +333,8 @@ func (w *World) Yield() { w.Sleep(0) }
 
 // AfterFunc schedules fn to run at Now()+d on the kernel, as a pseudo-task
 // of its own. fn must not block forever; it may use World primitives.
+//
+//simlint:hotpath
 func (w *World) AfterFunc(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -338,6 +348,8 @@ func (w *World) AfterFunc(d time.Duration, fn func()) Timer {
 // AfterCall is AfterFunc for a pre-bound callback: it schedules fn(arg)
 // without forcing the caller to allocate a fresh closure per timer. fn is
 // typically a long-lived adapter and arg a pooled object.
+//
+//simlint:hotpath
 func (w *World) AfterCall(d time.Duration, fn func(any), arg any) Timer {
 	if d < 0 {
 		d = 0

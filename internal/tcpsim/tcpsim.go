@@ -61,6 +61,8 @@ type segment struct {
 // appendSegment encodes s into b, which must be an empty slice with
 // enough capacity (wire buffers are leased from the socket's pool, so
 // per-segment encodes allocate nothing).
+//
+//simlint:hotpath
 func appendSegment(b []byte, s segment) []byte {
 	n := headerLen
 	if s.flags&flagSYN != 0 {
@@ -315,10 +317,12 @@ func (c *Conn) deliver(seg segment) {
 	}
 }
 
+//simlint:hotpath
 func (c *Conn) sendAck() {
 	c.send(segment{flags: flagACK, seq: c.sndNxt, ack: c.rcvNxt})
 }
 
+//simlint:hotpath
 func (c *Conn) send(s segment) {
 	c.sock.Send(c.peer, appendSegment(c.sock.Pool().Get(wireSize(s)), s))
 }
