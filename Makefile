@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke determinism cover fuzz-smoke lint
+.PHONY: build test race bench bench-smoke determinism cover fuzz-smoke lint live-smoke
 
 # staticcheck is pinned so local runs and CI agree on findings; when the
 # binary is absent (offline sandboxes), lint still runs simlint + go vet
@@ -18,8 +18,16 @@ race:
 	go test -race ./...
 	go test -race -count=1 -run 'Deterministic|Parallel' ./internal/...
 
+# live-smoke exercises the netapi/livenet backend over real loopback
+# sockets (a UDP + TLS DNS responder on 127.0.0.1 ephemeral ports) and
+# runs the backend conformance suite against simnet and livenet, all
+# under the race detector. Hermetic: no external network access.
+live-smoke:
+	go test -race -count=1 ./internal/netapi/...
+
 # lint runs the repo's own analyzer suite (cmd/simlint: determinism,
-# pool-ownership, hot-path, and layering rules), go vet, and staticcheck.
+# pool-ownership, hot-path, layering, and backend-purity rules), go vet,
+# and staticcheck.
 # simlint fails on any finding not covered by a //simlint:allow pragma or
 # the layering ratchet baseline (internal/lint/layering_baseline.txt).
 lint:

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dox"
+	"repro/internal/netapi/livenet"
+	"repro/internal/tlsmini"
+)
+
+// liveProtocols are the transports the live backend supports; DoQ and
+// DoH3 require the sim QUIC stack and are rejected by dox.Connect.
+var liveProtocols = map[string]dox.Protocol{
+	"do53": dox.DoUDP,
+	"tcp":  dox.DoTCP,
+	"dot":  dox.DoT,
+	"doh":  dox.DoH,
+}
+
+// runLive measures real resolvers: one warm query then one measured
+// query per transport against -server, the DNSPerf pattern applied to
+// a live target over the netapi/livenet backend.
+func runLive(server, serverName, protoList, domain string, dotPort, dohPort uint16, insecure bool, seed int64) int {
+	addr, udpPort, err := parseServer(server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsperf: -server: %v\n", err)
+		return 2
+	}
+	if serverName == "" {
+		serverName = addr.String()
+	}
+	be := livenet.New(seed)
+	sessions := tlsmini.NewSessionCache() // non-nil requests live resumption
+	exit := 0
+	fmt.Printf("live measurement: %s (%s)\n", server, domain)
+	fmt.Printf("%-6s %-8s %12s %12s %8s %8s %s\n",
+		"proto", "status", "handshake", "resolve", "hs-tx", "hs-rx", "session")
+	for _, name := range strings.Split(protoList, ",") {
+		name = strings.TrimSpace(name)
+		proto, ok := liveProtocols[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dnsperf: unknown live protocol %q (have do53,tcp,dot,doh)\n", name)
+			return 2
+		}
+		opts := dox.Options{
+			Backend:      be,
+			Resolver:     addr,
+			ServerName:   serverName,
+			UDPPort:      udpPort,
+			TCPPort:      udpPort,
+			DoTPort:      dotPort,
+			DoHPort:      dohPort,
+			SessionCache: sessions,
+			InsecureTLS:  insecure,
+			UDPTimeout:   3 * time.Second,
+		}
+		if ec := liveQuery(proto, name, opts, domain); ec != 0 {
+			exit = ec
+		}
+	}
+	return exit
+}
+
+func liveQuery(proto dox.Protocol, name string, opts dox.Options, domain string) int {
+	start := opts.Backend.Now()
+	c, err := dox.Connect(proto, opts)
+	if err != nil {
+		fmt.Printf("%-6s connect failed: %v\n", name, err)
+		return 1
+	}
+	defer c.Close()
+	q := dnsmsg.NewQuery(uint16(opts.Backend.Rand().Intn(1<<16)), domain, dnsmsg.TypeA)
+	resp, err := c.Query(&q)
+	resolve := opts.Backend.Now() - start
+	if err != nil {
+		fmt.Printf("%-6s query failed: %v\n", name, err)
+		return 1
+	}
+	m := c.Metrics()
+	status := "NOERROR"
+	if resp.RCode != dnsmsg.RCodeSuccess {
+		status = fmt.Sprintf("rcode=%d", resp.RCode)
+	}
+	session := "-"
+	if proto == dox.DoT || proto == dox.DoH {
+		session = fmt.Sprintf("tls=%#x", uint16(m.TLSVersion))
+		if m.UsedResumption {
+			session += " resumed"
+		}
+	}
+	answer := ""
+	if a, ok := resp.FirstA(); ok {
+		answer = " " + a.String()
+	}
+	fmt.Printf("%-6s %-8s %12s %12s %8d %8d %s%s\n",
+		name, status, m.HandshakeTime.Round(time.Microsecond),
+		resolve.Round(time.Microsecond), m.HandshakeTx, m.HandshakeRx, session, answer)
+	return 0
+}
+
+// parseServer accepts ip:port or a bare ip (port 53).
+func parseServer(s string) (netip.Addr, uint16, error) {
+	if ap, err := netip.ParseAddrPort(s); err == nil {
+		return ap.Addr(), ap.Port(), nil
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("want ip or ip:port, got %q", s)
+	}
+	return addr, 53, nil
+}

@@ -14,8 +14,14 @@
 //	        [-handshake] [-resolve] [-sizes] [-versions]
 //	        [-no-resumption] [-zero-rtt] [-doh3] [-workload] [-cached]
 //	        [-coalesce] [-serve-stale] [-prefetch]
+//	dnsperf -backend live -server <ip[:port]> [-server-name NAME]
+//	        [-protocols do53,tcp,dot,doh] [-domain NAME]
+//	        [-dot-port N] [-doh-port N] [-insecure]
 //
-// Without selection flags it prints all four reports.
+// Without selection flags it prints all four reports. -backend selects
+// the netapi backend: "sim" (default) runs the deterministic campaigns;
+// "live" sends the same clients' Do53/DoT/DoH queries to a real
+// resolver over the operating system's sockets.
 package main
 
 import (
@@ -45,7 +51,29 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "E22: in-flight query coalescing under aligned stub cohorts")
 	serveStale := flag.Bool("serve-stale", false, "E23: RFC 8767 serve-stale availability across an upstream outage")
 	prefetch := flag.Bool("prefetch", false, "E24: TTL-expiry prefetch of the Zipf head")
+	backend := flag.String("backend", "sim", "netapi backend: sim (deterministic campaigns) or live (real sockets)")
+	server := flag.String("server", "", "live target resolver, ip or ip:port (required with -backend live)")
+	serverName := flag.String("server-name", "", "live TLS server name (default: the server address)")
+	protocols := flag.String("protocols", "do53,tcp,dot", "live transports to measure (do53,tcp,dot,doh)")
+	domain := flag.String("domain", "example.com", "live query name")
+	dotPort := flag.Uint("dot-port", 853, "live DoT port")
+	dohPort := flag.Uint("doh-port", 443, "live DoH port")
+	insecure := flag.Bool("insecure", false, "live: skip TLS certificate verification")
 	flag.Parse()
+
+	switch *backend {
+	case "sim":
+	case "live":
+		if *server == "" {
+			fmt.Fprintln(os.Stderr, "dnsperf: -backend live requires -server")
+			os.Exit(2)
+		}
+		os.Exit(runLive(*server, *serverName, *protocols, *domain,
+			uint16(*dotPort), uint16(*dohPort), *insecure, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "dnsperf: unknown -backend %q (want sim or live)\n", *backend)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Default()
 	cfg.Seed = *seed

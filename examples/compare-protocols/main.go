@@ -42,12 +42,10 @@ func main() {
 	u.W.Go(func() {
 		for _, proto := range dox.AllProtocols {
 			opts := dox.Options{
-				Host:         vp.Host,
+				Backend:      vp.Backend,
 				Resolver:     res.Addr,
 				ServerName:   res.Name,
 				SessionCache: sessions,
-				Rand:         u.Rand,
-				Now:          u.W.Now,
 			}
 			// Warming exchange: resolver cache + session state.
 			warm, err := dox.Connect(proto, opts)

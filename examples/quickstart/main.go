@@ -30,11 +30,9 @@ func main() {
 		// Connect over DoQ. The client offers every DoQ version and all
 		// QUIC wire versions, like the paper's tooling.
 		client, err := dox.Connect(dox.DoQ, dox.Options{
-			Host:       vp.Host,
+			Backend:    vp.Backend,
 			Resolver:   res.Addr,
 			ServerName: res.Name,
-			Rand:       u.Rand,
-			Now:        u.W.Now,
 		})
 		if err != nil {
 			fmt.Println("connect:", err)

@@ -65,12 +65,10 @@ func main() {
 
 	u.W.Go(func() {
 		base := dox.Options{
-			Host:         vp.Host,
+			Backend:      vp.Backend,
 			Resolver:     res.Addr,
 			ServerName:   res.Name,
 			SessionCache: sessions,
-			Rand:         u.Rand,
-			Now:          u.W.Now,
 		}
 
 		// Act 1: cold connection. Version Negotiation (+1 RTT) and the

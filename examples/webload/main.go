@@ -29,13 +29,11 @@ func main() {
 	fmt.Printf("vantage %s, resolver RTT %v\n\n", vp.Name, u.PathRTT(vp, res))
 
 	load := func(proto dox.Protocol, page *pages.Page, port uint16) (browser.Result, error) {
-		proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
+		proxy, err := dnsproxy.New(vp.Backend, dnsproxy.Config{
 			Upstream: proto,
 			Options: dox.Options{
 				Resolver:   res.Addr,
 				ServerName: res.Name,
-				Rand:       u.Rand,
-				Now:        u.W.Now,
 			},
 			ListenPort: port,
 		})
@@ -43,7 +41,7 @@ func main() {
 			return browser.Result{}, err
 		}
 		defer proxy.Close()
-		eng := &browser.Engine{Host: vp.Host, Proxy: proxy.Addr()}
+		eng := &browser.Engine{Backend: vp.Backend, Proxy: proxy.Addr()}
 		// Warm, reset sessions, measure — the paper's navigation pattern.
 		eng.Load(page)
 		proxy.ResetSessions()

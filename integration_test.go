@@ -35,8 +35,8 @@ func TestEndToEndAllProtocolsUnderLossAndJitter(t *testing.T) {
 			for i := 0; i < perProto; i++ {
 				res := u.Resolvers[i%len(u.Resolvers)]
 				c, err := dox.Connect(proto, dox.Options{
-					Host: vp.Host, Resolver: res.Addr, ServerName: res.Name,
-					DoQPort: res.DoQPort, Rand: u.Rand, Now: u.W.Now,
+					Backend: vp.Backend, Resolver: res.Addr, ServerName: res.Name,
+					DoQPort: res.DoQPort,
 				})
 				if err != nil {
 					continue

@@ -26,9 +26,8 @@ import (
 	"time"
 
 	"repro/internal/dnsmsg"
-	"repro/internal/netem"
+	"repro/internal/netapi"
 	"repro/internal/pages"
-	"repro/internal/sim"
 )
 
 // Chromium's stub retransmission behaviour (resolv.conf defaults).
@@ -37,12 +36,12 @@ const (
 	stubRetries = 2
 )
 
-// Engine loads pages from one vantage host through a local DNS proxy.
-// Content-fetch timing comes from the host's netem access link; there
-// is no analytic bandwidth knob.
+// Engine loads pages from one vantage backend through a local DNS
+// proxy. Content-fetch timing comes from the backend's access-link
+// model; there is no analytic bandwidth knob.
 type Engine struct {
-	Host  *netem.Host
-	Proxy netip.AddrPort
+	Backend netapi.Backend
+	Proxy   netip.AddrPort
 }
 
 // Result is one page load's outcome.
@@ -54,31 +53,30 @@ type Result struct {
 	Err        error
 }
 
-// accessDelay is the one-way last-mile latency of the host's access
+// accessDelay is the one-way last-mile latency of the backend's access
 // link, paid on every content round trip (DNS datagrams pay it inside
-// netem itself).
+// the network model itself).
 func (e *Engine) accessDelay() time.Duration {
-	prof, ok := e.Host.Network().AccessLink(e.Host.Addr())
-	if !ok {
-		return 0
-	}
-	return prof.ExtraDelay
+	return e.Backend.AccessDelay()
 }
 
 // resolve performs one stub lookup through the proxy, with Chromium's
 // application-layer retransmission.
 func (e *Engine) resolve(name string, qid uint16) (netip.Addr, time.Duration, error) {
-	w := e.Host.World()
-	sock := e.Host.Dial(netem.ProtoUDP, 8)
+	rt := e.Backend
+	sock, err := rt.DialUDP(8)
+	if err != nil {
+		return netip.Addr{}, 0, err
+	}
 	defer sock.Close()
-	start := w.Now()
+	start := rt.Now()
 	q := dnsmsg.NewQuery(qid, name, dnsmsg.TypeA)
 	wire := q.Encode()
 	for attempt := 0; attempt <= stubRetries; attempt++ {
 		sock.Send(e.Proxy, append([]byte(nil), wire...))
-		deadline := w.Now() + stubTimeout
+		deadline := rt.Now() + stubTimeout
 		for {
-			d, ok := sock.RecvTimeout(deadline - w.Now())
+			d, ok := sock.RecvTimeout(deadline - rt.Now())
 			if !ok {
 				break // retransmit
 			}
@@ -90,10 +88,10 @@ func (e *Engine) resolve(name string, qid uint16) (netip.Addr, time.Duration, er
 			if !ok {
 				return netip.Addr{}, 0, fmt.Errorf("browser: no A record for %s", name)
 			}
-			return addr, w.Now() - start, nil
+			return addr, rt.Now() - start, nil
 		}
 	}
-	return netip.Addr{}, w.Now() - start, fmt.Errorf("browser: resolution of %s timed out", name)
+	return netip.Addr{}, rt.Now() - start, fmt.Errorf("browser: resolution of %s timed out", name)
 }
 
 // fetch models retrieving size bytes over an established connection:
@@ -105,9 +103,8 @@ func (e *Engine) resolve(name string, qid uint16) (netip.Addr, time.Duration, er
 // datagrams queue behind real bytes, never behind a request still in
 // flight.
 func (e *Engine) fetch(originRTT time.Duration, size int) {
-	w := e.Host.World()
-	w.Sleep(originRTT + 2*e.accessDelay())
-	w.Sleep(e.Host.Network().OccupyDown(e.Host.Addr(), size))
+	e.Backend.Sleep(originRTT + 2*e.accessDelay())
+	e.Backend.Sleep(e.Backend.OccupyDown(size))
 }
 
 // connSetup models TCP+TLS 1.3 connection establishment to the origin.
@@ -124,8 +121,8 @@ func (e *Engine) connSetup(originRTT time.Duration) time.Duration {
 //  3. FCP fires when the HTML and all critical assets are in, plus render
 //     time; PLT fires at onLoad, after every asset and the load handlers.
 func (e *Engine) Load(p *pages.Page) Result {
-	w := e.Host.World()
-	start := w.Now()
+	rt := e.Backend
+	start := rt.Now()
 	res := Result{}
 
 	addr, dnsTime, err := e.resolve(p.URL, 1)
@@ -138,9 +135,9 @@ func (e *Engine) Load(p *pages.Page) Result {
 	res.DNSTime += dnsTime
 
 	// Connect to the landing origin and fetch the HTML.
-	w.Sleep(e.connSetup(p.OriginRTT))
+	rt.Sleep(e.connSetup(p.OriginRTT))
 	e.fetch(p.OriginRTT, p.HTMLSize)
-	htmlDone := w.Now()
+	htmlDone := rt.Now()
 
 	// Group sub-resources by host, preserving page order.
 	var order []string
@@ -161,13 +158,13 @@ func (e *Engine) Load(p *pages.Page) Result {
 		e:            e,
 		p:            p,
 		res:          &res,
-		wg:           sim.NewWaitGroup(w),
+		wg:           rt.NewGroup(),
 		criticalDone: htmlDone,
 		allDone:      htmlDone,
 	}
 	for i, host := range order {
 		ls.wg.Add(1)
-		w.GoCall(loadHostJob, &hostJob{ls: ls, hw: byHost[host], qid: uint16(i + 2)})
+		rt.GoCall(loadHostJob, &hostJob{ls: ls, hw: byHost[host], qid: uint16(i + 2)})
 	}
 	ls.wg.Wait()
 	if ls.firstErr != nil {
@@ -196,7 +193,7 @@ type loadState struct {
 	e            *Engine
 	p            *pages.Page
 	res          *Result
-	wg           *sim.WaitGroup
+	wg           netapi.Group
 	firstErr     error
 	criticalDone time.Duration
 	allDone      time.Duration
@@ -214,7 +211,7 @@ func loadHostJob(v any) {
 	j := v.(*hostJob)
 	ls, hw := j.ls, j.hw
 	defer ls.wg.Done()
-	w := ls.e.Host.World()
+	rt := ls.e.Backend
 	// The landing host is already resolved and connected; third
 	// parties need DNS + connection setup.
 	if hw.host != ls.p.URL {
@@ -227,16 +224,16 @@ func loadHostJob(v any) {
 		}
 		ls.res.DNSQueries++
 		ls.res.DNSTime += dt
-		w.Sleep(ls.e.connSetup(ls.p.OriginRTT))
+		rt.Sleep(ls.e.connSetup(ls.p.OriginRTT))
 	}
 	for _, r := range hw.resources {
 		ls.e.fetch(ls.p.OriginRTT, r.Size)
-		if r.Critical && w.Now() > ls.criticalDone {
-			ls.criticalDone = w.Now()
+		if r.Critical && rt.Now() > ls.criticalDone {
+			ls.criticalDone = rt.Now()
 		}
 	}
-	if w.Now() > ls.allDone {
-		ls.allDone = w.Now()
+	if rt.Now() > ls.allDone {
+		ls.allDone = rt.Now()
 	}
 }
 

@@ -29,18 +29,16 @@ func setup(t *testing.T, seed int64, upstream dox.Protocol, mut func(*dnsproxy.C
 			Resolver:     res.Addr,
 			ServerName:   res.Name,
 			QUICVersions: []uint32{res.QUICVersion},
-			Rand:         u.Rand,
-			Now:          u.W.Now,
 		},
 	}
 	if mut != nil {
 		mut(&cfg)
 	}
-	p, err := dnsproxy.New(vp.Host, cfg)
+	p, err := dnsproxy.New(vp.Backend, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return u, &Engine{Host: vp.Host, Proxy: p.Addr()}, p
+	return u, &Engine{Backend: vp.Backend, Proxy: p.Addr()}, p
 }
 
 func TestLoadSimplePage(t *testing.T) {
@@ -196,7 +194,7 @@ func TestResolutionFailureReported(t *testing.T) {
 	// Engine pointed at a port where no proxy listens: every resolution
 	// times out after the stub's retransmissions.
 	vp := u.Vantages[0]
-	eng := &Engine{Host: vp.Host, Proxy: netip.AddrPortFrom(vp.Host.Addr(), 9999)}
+	eng := &Engine{Backend: vp.Backend, Proxy: netip.AddrPortFrom(vp.Host.Addr(), 9999)}
 	var r Result
 	u.W.Go(func() { r = eng.Load(pages.ByName("wikipedia")) })
 	u.W.Run()

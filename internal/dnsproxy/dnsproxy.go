@@ -42,8 +42,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
-	"repro/internal/netem"
-	"repro/internal/sim"
+	"repro/internal/netapi"
 	"repro/internal/stats"
 	"repro/internal/tlsmini"
 )
@@ -52,7 +51,7 @@ import (
 type Config struct {
 	// Upstream transport and resolver.
 	Upstream dox.Protocol
-	Options  dox.Options // Host is the vantage host; Resolver the upstream
+	Options  dox.Options // Backend is the vantage backend; Resolver the upstream
 
 	// ListenPort is the local UDP port (default 5353).
 	ListenPort uint16
@@ -139,9 +138,8 @@ type tokenBucket struct {
 // Proxy is a running DNS forwarder.
 type Proxy struct {
 	cfg  Config
-	host *netem.Host
-	w    *sim.World
-	sock *netem.Socket
+	be   netapi.Backend
+	sock netapi.PacketConn
 
 	sessions *tlsmini.SessionCache
 	quicSess *dox.QUICSessionStore
@@ -151,10 +149,10 @@ type Proxy struct {
 	ephemeral []dox.Client
 
 	// fwdFn is the per-query task body, bound once; dgFree recycles the
-	// datagram boxes it is handed, so spawning a forward task allocates
-	// neither a closure nor a carrier (sim.GoCall + free list).
+	// packet boxes it is handed, so spawning a forward task allocates
+	// neither a closure nor a carrier (GoCall + free list).
 	fwdFn  func(any)
-	dgFree []*netem.Datagram
+	dgFree []*netapi.Packet
 
 	// inflight maps a query key to its coalesced flight. The map is
 	// only ever indexed, never iterated, so it leaks no ordering.
@@ -188,9 +186,9 @@ type Proxy struct {
 	closed bool
 }
 
-// New starts a proxy on the vantage host. Upstream connections are
+// New starts a proxy on the vantage backend. Upstream connections are
 // established lazily on the first query, as the real tool does.
-func New(host *netem.Host, cfg Config) (*Proxy, error) {
+func New(be netapi.Backend, cfg Config) (*Proxy, error) {
 	if cfg.ListenPort == 0 {
 		cfg.ListenPort = 5353
 	}
@@ -216,20 +214,19 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 		// Both features live on the stub cache; enabling them implies it.
 		cfg.StubCache = true
 	}
-	sock, err := host.Listen(netem.ProtoUDP, cfg.ListenPort, 8)
+	sock, err := be.ListenUDP(cfg.ListenPort, 8)
 	if err != nil {
 		return nil, err
 	}
 	p := &Proxy{
 		cfg:      cfg,
-		host:     host,
-		w:        host.World(),
+		be:       be,
 		sock:     sock,
 		sessions: tlsmini.NewSessionCache(),
 		quicSess: dox.NewQUICSessionStore(),
 	}
 	if cfg.StubCache {
-		p.stub = cache.New(p.w.Now, cfg.StubCacheCapacity)
+		p.stub = cache.New(be.Now, cfg.StubCacheCapacity)
 	}
 	if cfg.ServeStale {
 		p.stub.SetStaleCeiling(cfg.StaleTTL)
@@ -248,13 +245,13 @@ func New(host *netem.Host, cfg Config) (*Proxy, error) {
 		p.buckets = make(map[netip.AddrPort]*tokenBucket)
 	}
 	p.fwdFn = func(a any) {
-		dg := a.(*netem.Datagram)
+		dg := a.(*netapi.Packet)
 		d := *dg
-		*dg = netem.Datagram{}
+		*dg = netapi.Packet{}
 		p.dgFree = append(p.dgFree, dg)
 		p.forward(d)
 	}
-	p.w.Go(p.serve)
+	p.be.Go(p.serve)
 	return p, nil
 }
 
@@ -276,16 +273,16 @@ func (p *Proxy) serve() {
 		if !ok {
 			return
 		}
-		var dg *netem.Datagram
+		var dg *netapi.Packet
 		if n := len(p.dgFree); n > 0 {
 			dg = p.dgFree[n-1]
 			p.dgFree[n-1] = nil
 			p.dgFree = p.dgFree[:n-1]
 		} else {
-			dg = new(netem.Datagram)
+			dg = new(netapi.Packet)
 		}
 		*dg = d
-		p.w.GoCall(p.fwdFn, dg)
+		p.be.GoCall(p.fwdFn, dg)
 	}
 }
 
@@ -305,7 +302,7 @@ func (p *Proxy) send(dst netip.AddrPort, resp *dnsmsg.Message) {
 	p.sock.Send(dst, resp.AppendEncode(p.sock.Pool().Get(512)))
 }
 
-func (p *Proxy) forward(d netem.Datagram) {
+func (p *Proxy) forward(d netapi.Packet) {
 	q, err := dnsmsg.Decode(d.Payload)
 	if err != nil {
 		return
@@ -325,7 +322,7 @@ func (p *Proxy) forward(d netem.Datagram) {
 		p.hot.Touch(key)
 		if p.prefetchOn[key] {
 			// Live demand extends the armed refresh chain's idle horizon.
-			p.lastSeen[key] = p.w.Now()
+			p.lastSeen[key] = p.be.Now()
 		}
 	}
 	if p.stub != nil {
@@ -421,7 +418,7 @@ func (p *Proxy) allow(src netip.AddrPort) bool {
 	if p.buckets == nil {
 		return true
 	}
-	now := p.w.Now()
+	now := p.be.Now()
 	b, ok := p.buckets[src]
 	if !ok {
 		b = &tokenBucket{tokens: float64(p.cfg.RateLimitBurst), last: now}
@@ -451,7 +448,7 @@ func (p *Proxy) answerStale(key cache.Key, src netip.AddrPort, id uint16) bool {
 		return false
 	}
 	ttl := cache.StaleAdvertTTL
-	if rem := ent.Remaining(p.w.Now()); rem > 0 {
+	if rem := ent.Remaining(p.be.Now()); rem > 0 {
 		// A concurrent exchange refreshed the entry while ours failed:
 		// this is a plain hit, not a stale serve.
 		ttl = rem
@@ -480,7 +477,7 @@ func (p *Proxy) scheduleRevalidate(key cache.Key) {
 		return
 	}
 	p.revalidating[key] = true
-	p.w.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
+	p.be.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
 }
 
 // revalidate runs one background refresh attempt for key. Timer
@@ -504,7 +501,7 @@ func (p *Proxy) revalidate(key cache.Key) {
 		return
 	}
 	// Still unreachable: keep the marker and retry.
-	p.w.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
+	p.be.AfterFunc(p.cfg.RevalidateInterval, func() { p.revalidate(key) })
 }
 
 // armPrefetch schedules a TTL-expiry refresh for the first A answer of
@@ -536,9 +533,9 @@ func (p *Proxy) armPrefetch(resp *dnsmsg.Message, internal bool) {
 		}
 		p.prefetchOn[key] = true
 		if !internal {
-			p.lastSeen[key] = p.w.Now()
+			p.lastSeen[key] = p.be.Now()
 		}
-		p.w.AfterFunc(ttl-lead, func() { p.prefetch(key) })
+		p.be.AfterFunc(ttl-lead, func() { p.prefetch(key) })
 		return
 	}
 }
@@ -553,7 +550,7 @@ func (p *Proxy) prefetch(key cache.Key) {
 	if p.closed {
 		return
 	}
-	if !p.hot.Hot(key, p.cfg.PrefetchMinHits) || p.w.Now()-p.lastSeen[key] > p.cfg.PrefetchIdle {
+	if !p.hot.Hot(key, p.cfg.PrefetchMinHits) || p.be.Now()-p.lastSeen[key] > p.cfg.PrefetchIdle {
 		delete(p.lastSeen, key)
 		return
 	}
@@ -620,7 +617,7 @@ func (p *Proxy) quicUpstream() bool {
 
 func (p *Proxy) connect() (dox.Client, error) {
 	o := p.cfg.Options
-	o.Host = p.host
+	o.Backend = p.be
 	o.SessionCache = p.sessions
 	if p.quicUpstream() {
 		p.quicSess.Apply(o.Resolver, &o)

@@ -42,14 +42,12 @@ func setupFull(t *testing.T, upstream dox.Protocol, umut func(*resolver.Universe
 		Options: dox.Options{
 			Resolver:   res.Addr,
 			ServerName: res.Name,
-			Rand:       u.Rand,
-			Now:        u.W.Now,
 		},
 	}
 	if mut != nil {
 		mut(&cfg)
 	}
-	p, err := New(vp.Host, cfg)
+	p, err := New(vp.Backend, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,12 +175,10 @@ func TestUpstreamFailureCountsAsFailure(t *testing.T) {
 	}
 	vp := u.Vantages[0]
 	// Upstream points at an address with no resolver.
-	p, err := New(vp.Host, Config{
+	p, err := New(vp.Backend, Config{
 		Upstream: dox.DoUDP,
 		Options: dox.Options{
 			Resolver:   netip.MustParseAddr("203.255.255.1"),
-			Rand:       u.Rand,
-			Now:        u.W.Now,
 			UDPTimeout: 200 * time.Millisecond,
 			UDPRetries: 0,
 		},

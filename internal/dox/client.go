@@ -4,18 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"maps"
-	"math/rand"
 	"net/netip"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/dnsmsg"
 	"repro/internal/h2"
 	"repro/internal/h3"
-	"repro/internal/netem"
+	"repro/internal/netapi"
 	"repro/internal/quic"
-	"repro/internal/sim"
-	"repro/internal/tcpsim"
 	"repro/internal/tlsmini"
 )
 
@@ -23,7 +21,7 @@ import (
 // Iterating the map directly would wake the waiting tasks in Go's
 // randomized map order, which leaks into the kernel's run queue and
 // breaks bit-level reproducibility of lossy campaigns.
-func failPending(pending map[uint16]*sim.Future[*dnsmsg.Message]) {
+func failPending(pending map[uint16]*netapi.Future[*dnsmsg.Message]) {
 	for _, id := range slices.Sorted(maps.Keys(pending)) {
 		pending[id].Fail()
 		delete(pending, id)
@@ -44,7 +42,10 @@ type Client interface {
 
 // Options configures a client session.
 type Options struct {
-	Host     *netem.Host
+	// Backend supplies sockets, TLS, timers, clock and randomness. Use
+	// netapi/simnet inside a simulation and netapi/livenet for real
+	// resolvers.
+	Backend  netapi.Backend
 	Resolver netip.Addr
 
 	// Ports default to the standard ones.
@@ -58,13 +59,14 @@ type Options struct {
 	DoQALPNs       []string // offered DoQ versions; default AllDoQALPNs
 	TLSMaxVersion  tlsmini.Version
 
+	// InsecureTLS disables certificate verification on backends that
+	// verify (livenet); the sim backend's certificates are modeled.
+	InsecureTLS bool
+
 	// UDPTimeout is the stub's application-layer retransmission timeout
 	// (resolv.conf default: 5 seconds). UDPRetries caps retransmissions.
 	UDPTimeout time.Duration
 	UDPRetries int
-
-	Rand *rand.Rand
-	Now  func() time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -105,6 +107,30 @@ func (o *Options) withDefaults() Options {
 	return v
 }
 
+func (o *Options) tlsConfig(alpn []string) netapi.TLSConfig {
+	return netapi.TLSConfig{
+		ServerName:         o.ServerName,
+		ALPN:               alpn,
+		MaxVersion:         o.TLSMaxVersion,
+		SessionCache:       o.SessionCache,
+		InsecureSkipVerify: o.InsecureTLS,
+	}
+}
+
+// quicDialer is the capability a backend provides when it can carry
+// QUIC. Only the sim backend has it: the QUIC stack is built on the
+// simulated network, so DoQ and DoH3 are sim-only transports.
+type quicDialer interface {
+	DialQUIC(raddr netip.AddrPort, cfg quic.Config, early bool) (*quic.Conn, error)
+}
+
+// httpRoundTripper is the capability a backend provides when DoH should
+// run over a real HTTP stack (livenet: net/http with its HTTP/2
+// support) instead of the in-repo h2 layer over the backend's TLS.
+type httpRoundTripper interface {
+	RoundTripHTTP(serverName string, raddr netip.AddrPort, path string, insecure bool, body []byte) (status int, respBody []byte, err error)
+}
+
 // Connect establishes a client session for the given transport. For
 // connection-oriented transports this blocks for the handshake.
 func Connect(proto Protocol, opts Options) (Client, error) {
@@ -130,22 +156,29 @@ func Connect(proto Protocol, opts Options) (Client, error) {
 
 type udpClient struct {
 	o        Options
-	sock     *netem.Socket
+	sock     netapi.PacketConn
 	raddr    netip.AddrPort
 	m        Metrics
 	inFlight int
-	pending  map[uint16]*sim.Future[*dnsmsg.Message]
-	closed   bool
+	// mu guards pending against the read loop (a no-op lock on sim).
+	mu      sync.Locker
+	pending map[uint16]*netapi.Future[*dnsmsg.Message]
+	closed  bool
 }
 
 func newUDPClient(o Options) (*udpClient, error) {
+	sock, err := o.Backend.DialUDP(8)
+	if err != nil {
+		return nil, err
+	}
 	c := &udpClient{
 		o:       o,
-		sock:    o.Host.Dial(netem.ProtoUDP, 8),
+		sock:    sock,
 		raddr:   netip.AddrPortFrom(o.Resolver, o.UDPPort),
-		pending: make(map[uint16]*sim.Future[*dnsmsg.Message]),
+		mu:      o.Backend.NewLock(),
+		pending: make(map[uint16]*netapi.Future[*dnsmsg.Message]),
 	}
-	o.Host.World().Go(c.readLoop)
+	o.Backend.Go(c.readLoop)
 	return c, nil
 }
 
@@ -153,7 +186,9 @@ func (c *udpClient) readLoop() {
 	for {
 		d, ok := c.sock.Recv()
 		if !ok {
+			c.mu.Lock()
 			failPending(c.pending)
+			c.mu.Unlock()
 			return
 		}
 		resp, err := dnsmsg.Decode(d.Payload)
@@ -161,8 +196,13 @@ func (c *udpClient) readLoop() {
 		if err != nil {
 			continue
 		}
-		if f, ok := c.pending[resp.ID]; ok {
+		c.mu.Lock()
+		f, ok := c.pending[resp.ID]
+		if ok {
 			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
 			f.Resolve(resp)
 		}
 	}
@@ -178,15 +218,19 @@ func (c *udpClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 	wire := q.Encode()
 	var resp *dnsmsg.Message
 	for attempt := 0; attempt <= c.o.UDPRetries; attempt++ {
-		f := sim.NewFuture[*dnsmsg.Message](c.o.Host.World(), "doudp-query")
+		f := netapi.NewFuture[*dnsmsg.Message](c.o.Backend, "doudp-query")
+		c.mu.Lock()
 		c.pending[q.ID] = f
+		c.mu.Unlock()
 		c.sock.Send(c.raddr, append([]byte(nil), wire...))
 		r, ok := f.WaitTimeout(c.o.UDPTimeout)
 		if ok {
 			resp = r
 			break
 		}
+		c.mu.Lock()
 		delete(c.pending, q.ID)
+		c.mu.Unlock()
 	}
 	tx, rx := c.sock.Snapshot()
 	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
@@ -210,7 +254,7 @@ func (c *udpClient) Close() {
 type tcpClient struct {
 	o        Options
 	raddr    netip.AddrPort
-	conn     *tcpsim.Conn
+	conn     netapi.StreamConn
 	connUsed bool
 	m        Metrics
 	inFlight int
@@ -219,12 +263,12 @@ type tcpClient struct {
 
 func newTCPClient(o Options) (*tcpClient, error) {
 	c := &tcpClient{o: o, raddr: netip.AddrPortFrom(o.Resolver, o.TCPPort)}
-	start := o.Now()
-	conn, err := tcpsim.Dial(o.Host, c.raddr)
+	start := o.Backend.Now()
+	conn, err := o.Backend.DialStream(c.raddr)
 	if err != nil {
 		return nil, err
 	}
-	c.m.HandshakeTime = o.Now() - start
+	c.m.HandshakeTime = o.Backend.Now() - start
 	// The SYN-ACK may still be counted in flight; snapshot what we have.
 	c.m.HandshakeTx, c.m.HandshakeRx = conn.Stats()
 	c.conn = conn
@@ -242,7 +286,7 @@ func (c *tcpClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 		// No resolver supports edns-tcp-keepalive (paper §3), so every
 		// query needs a fresh connection: 2 RTT per query.
 		var err error
-		conn, err = tcpsim.Dial(c.o.Host, c.raddr)
+		conn, err = c.o.Backend.DialStream(c.raddr)
 		if err != nil {
 			return nil, err
 		}
@@ -295,8 +339,8 @@ func appendPrefixed(m *dnsmsg.Message) []byte {
 	return wire
 }
 
-// byteStream is the minimal reader both tcpsim.Conn and tlsmini.Conn
-// satisfy.
+// byteStream is the minimal reader netapi.StreamConn, tlsmini.Conn and
+// every TLS-wrapped stream satisfy.
 type byteStream interface {
 	Read() ([]byte, bool)
 }
@@ -322,11 +366,12 @@ func readPrefixedMessage(s byteStream) (*dnsmsg.Message, error) {
 // --- DoT ---
 
 type dotClient struct {
-	o        Options
-	tls      *tlsmini.Conn
-	tcpStats func() (int, int)
-	m        Metrics
-	pending  map[uint16]*sim.Future[*dnsmsg.Message]
+	o   Options
+	tls netapi.TLSConn
+	m   Metrics
+	// mu guards pending against the read loop (a no-op lock on sim).
+	mu       sync.Locker
+	pending  map[uint16]*netapi.Future[*dnsmsg.Message]
 	inFlight int
 	closed   bool
 	rbuf     []byte
@@ -334,35 +379,22 @@ type dotClient struct {
 
 func newDoTClient(o Options) (*dotClient, error) {
 	raddr := netip.AddrPortFrom(o.Resolver, o.DoTPort)
-	start := o.Now()
-	tcp, err := tcpsim.Dial(o.Host, raddr)
+	start := o.Backend.Now()
+	tlsConn, err := o.Backend.DialTLS(raddr, o.tlsConfig([]string{"dot"}))
 	if err != nil {
-		return nil, err
-	}
-	tlsConn := tlsmini.NewConn(tcp, tlsmini.Config{
-		IsClient:     true,
-		ServerName:   o.ServerName,
-		ALPN:         []string{"dot"},
-		Version:      o.TLSMaxVersion,
-		SessionCache: o.SessionCache,
-		Rand:         o.Rand,
-		Now:          o.Now,
-	})
-	if err := tlsConn.Handshake(); err != nil {
-		tcp.Close()
 		return nil, err
 	}
 	c := &dotClient{
 		o:       o,
 		tls:     tlsConn,
-		pending: make(map[uint16]*sim.Future[*dnsmsg.Message]),
+		mu:      o.Backend.NewLock(),
+		pending: make(map[uint16]*netapi.Future[*dnsmsg.Message]),
 	}
-	c.m.HandshakeTime = o.Now() - start
-	c.m.HandshakeTx, c.m.HandshakeRx = tcp.Stats()
-	c.m.TLSVersion = tlsConn.Engine().NegotiatedVersion()
-	c.m.UsedResumption = tlsConn.Engine().UsedResumption()
-	c.tcpStats = tcp.Stats
-	o.Host.World().Go(c.readLoop)
+	c.m.HandshakeTime = o.Backend.Now() - start
+	c.m.HandshakeTx, c.m.HandshakeRx = tlsConn.Stats()
+	c.m.TLSVersion = tlsConn.TLSVersion()
+	c.m.UsedResumption = tlsConn.Resumed()
+	o.Backend.Go(c.readLoop)
 	return c, nil
 }
 
@@ -370,11 +402,18 @@ func (c *dotClient) readLoop() {
 	for {
 		resp, err := c.readOne()
 		if err != nil {
+			c.mu.Lock()
 			failPending(c.pending)
+			c.mu.Unlock()
 			return
 		}
-		if f, ok := c.pending[resp.ID]; ok {
+		c.mu.Lock()
+		f, ok := c.pending[resp.ID]
+		if ok {
 			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
 			f.Resolve(resp)
 		}
 	}
@@ -404,14 +443,16 @@ func (c *dotClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 	}
 	c.inFlight++
 	defer func() { c.inFlight-- }()
-	txBefore, rxBefore := c.tcpStats()
-	f := sim.NewFuture[*dnsmsg.Message](c.o.Host.World(), "dot-query")
+	txBefore, rxBefore := c.tls.Stats()
+	f := netapi.NewFuture[*dnsmsg.Message](c.o.Backend, "dot-query")
+	c.mu.Lock()
 	c.pending[q.ID] = f
+	c.mu.Unlock()
 	if err := c.tls.Write(prefixMessage(q.Encode())); err != nil {
 		return nil, err
 	}
 	resp, ok := f.Wait()
-	tx, rx := c.tcpStats()
+	tx, rx := c.tls.Stats()
 	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
 	if !ok {
 		return nil, errors.New("dox: DoT query failed")
@@ -433,7 +474,9 @@ func (c *dotClient) Close() {
 type dohClient struct {
 	o        Options
 	h2c      *h2.ClientConn
-	tcpStats func() (int, int)
+	hrt      httpRoundTripper // real-HTTP path (livenet); nil on sim
+	raddr    netip.AddrPort
+	tlsStats func() (int, int)
 	m        Metrics
 	inFlight int
 	closed   bool
@@ -441,33 +484,25 @@ type dohClient struct {
 
 func newDoHClient(o Options) (*dohClient, error) {
 	raddr := netip.AddrPortFrom(o.Resolver, o.DoHPort)
-	start := o.Now()
-	tcp, err := tcpsim.Dial(o.Host, raddr)
+	if hrt, ok := o.Backend.(httpRoundTripper); ok {
+		// Backend brings its own HTTP stack; connections are managed (and
+		// reused) inside it, so there is no per-session handshake to time.
+		return &dohClient{o: o, hrt: hrt, raddr: raddr}, nil
+	}
+	start := o.Backend.Now()
+	tlsConn, err := o.Backend.DialTLS(raddr, o.tlsConfig([]string{"h2"}))
 	if err != nil {
 		return nil, err
 	}
-	tlsConn := tlsmini.NewConn(tcp, tlsmini.Config{
-		IsClient:     true,
-		ServerName:   o.ServerName,
-		ALPN:         []string{"h2"},
-		Version:      o.TLSMaxVersion,
-		SessionCache: o.SessionCache,
-		Rand:         o.Rand,
-		Now:          o.Now,
-	})
-	if err := tlsConn.Handshake(); err != nil {
-		tcp.Close()
-		return nil, err
-	}
-	h2c, err := h2.NewClientConn(o.Host.World(), tlsConn)
+	h2c, err := h2.NewClientConn(o.Backend, tlsConn)
 	if err != nil {
 		return nil, err
 	}
-	c := &dohClient{o: o, h2c: h2c, tcpStats: tcp.Stats}
-	c.m.HandshakeTime = o.Now() - start
-	c.m.HandshakeTx, c.m.HandshakeRx = tcp.Stats()
-	c.m.TLSVersion = tlsConn.Engine().NegotiatedVersion()
-	c.m.UsedResumption = tlsConn.Engine().UsedResumption()
+	c := &dohClient{o: o, h2c: h2c, raddr: raddr, tlsStats: tlsConn.Stats}
+	c.m.HandshakeTime = o.Backend.Now() - start
+	c.m.HandshakeTx, c.m.HandshakeRx = tlsConn.Stats()
+	c.m.TLSVersion = tlsConn.TLSVersion()
+	c.m.UsedResumption = tlsConn.Resumed()
 	return c, nil
 }
 
@@ -477,7 +512,17 @@ func (c *dohClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 	}
 	c.inFlight++
 	defer func() { c.inFlight-- }()
-	txBefore, rxBefore := c.tcpStats()
+	if c.hrt != nil {
+		status, body, err := c.hrt.RoundTripHTTP(c.o.ServerName, c.raddr, "/dns-query", c.o.InsecureTLS, q.Encode())
+		if err != nil {
+			return nil, err
+		}
+		if status != 200 {
+			return nil, fmt.Errorf("dox: DoH status %d", status)
+		}
+		return dnsmsg.Decode(body)
+	}
+	txBefore, rxBefore := c.tlsStats()
 	resp, err := c.h2c.RoundTrip([]h2.Header{
 		{Name: ":method", Value: "POST"},
 		{Name: ":scheme", Value: "https"},
@@ -488,7 +533,7 @@ func (c *dohClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 		{Name: "content-length", Value: fmt.Sprint(len(q.Encode()))},
 		{Name: "user-agent", Value: "repro-dnsperf/1.0"},
 	}, q.Encode())
-	tx, rx := c.tcpStats()
+	tx, rx := c.tlsStats()
 	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
 	if err != nil {
 		return nil, err
@@ -504,7 +549,9 @@ func (c *dohClient) InFlight() int     { return c.inFlight }
 func (c *dohClient) Close() {
 	if !c.closed {
 		c.closed = true
-		c.h2c.Close()
+		if c.h2c != nil {
+			c.h2c.Close()
+		}
 	}
 }
 
@@ -519,6 +566,10 @@ type doqClient struct {
 }
 
 func newDoQClient(o Options) (*doqClient, error) {
+	qd, ok := o.Backend.(quicDialer)
+	if !ok {
+		return nil, errors.New("dox: DoQ requires a QUIC-capable backend (sim only)")
+	}
 	raddr := netip.AddrPortFrom(o.Resolver, o.DoQPort)
 	cfg := quic.Config{
 		ALPN:           o.DoQALPNs,
@@ -528,23 +579,17 @@ func newDoQClient(o Options) (*doqClient, error) {
 		Token:          o.Token,
 		Versions:       o.QUICVersions,
 		TLSVersion:     o.TLSMaxVersion,
-		Rand:           o.Rand,
-		Now:            o.Now,
+		Rand:           o.Backend.Rand(),
+		Now:            o.Backend.Now,
 	}
-	start := o.Now()
-	var conn *quic.Conn
-	var err error
-	if o.OfferEarlyData {
-		conn, err = quic.DialEarly(o.Host, raddr, cfg)
-	} else {
-		conn, err = quic.Dial(o.Host, raddr, cfg)
-	}
+	start := o.Backend.Now()
+	conn, err := qd.DialQUIC(raddr, cfg, o.OfferEarlyData)
 	if err != nil {
 		return nil, err
 	}
 	c := &doqClient{o: o, conn: conn}
 	if !o.OfferEarlyData {
-		c.m.HandshakeTime = o.Now() - start
+		c.m.HandshakeTime = o.Backend.Now() - start
 		c.fillHandshakeMetrics()
 	}
 	return c, nil
@@ -643,6 +688,10 @@ type doh3Client struct {
 // table, so — like DoQ framing per the offered ALPN — the client needs
 // no negotiated server state to serialize early data.
 func newDoH3Client(o Options) (*doh3Client, error) {
+	qd, ok := o.Backend.(quicDialer)
+	if !ok {
+		return nil, errors.New("dox: DoH3 requires a QUIC-capable backend (sim only)")
+	}
 	raddr := netip.AddrPortFrom(o.Resolver, o.DoH3Port)
 	cfg := quic.Config{
 		ALPN:           []string{DoH3ALPN},
@@ -652,26 +701,20 @@ func newDoH3Client(o Options) (*doh3Client, error) {
 		Token:          o.Token,
 		Versions:       o.QUICVersions,
 		TLSVersion:     o.TLSMaxVersion,
-		Rand:           o.Rand,
-		Now:            o.Now,
+		Rand:           o.Backend.Rand(),
+		Now:            o.Backend.Now,
 	}
-	start := o.Now()
-	var conn *quic.Conn
-	var err error
-	if o.OfferEarlyData {
-		conn, err = quic.DialEarly(o.Host, raddr, cfg)
-	} else {
-		conn, err = quic.Dial(o.Host, raddr, cfg)
-	}
+	start := o.Backend.Now()
+	conn, err := qd.DialQUIC(raddr, cfg, o.OfferEarlyData)
 	if err != nil {
 		return nil, err
 	}
 	c := &doh3Client{o: o, conn: conn}
 	txBefore, _ := conn.Stats()
-	c.h3c = h3.NewClientConn(o.Host.World(), conn)
+	c.h3c = h3.NewClientConn(o.Backend, conn)
 	txAfter, _ := conn.Stats()
 	if !o.OfferEarlyData {
-		c.m.HandshakeTime = o.Now() - start
+		c.m.HandshakeTime = o.Backend.Now() - start
 		c.fillHandshakeMetrics()
 		// Like DoH's accounting (the HTTP/2 preface and SETTINGS count
 		// as session setup, not query bytes), fold exactly the

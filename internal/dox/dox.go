@@ -23,6 +23,14 @@
 //     with static-table-only QPACK (internal/h3), so its sizes land
 //     between DoQ's bare streams and DoH's HTTP/2-over-TLS-over-TCP
 //     layering (experiment E13).
+//
+// Clients and servers are written against the netapi backend seam
+// (DESIGN.md §10), never the simulation kernel directly: Options.Backend
+// selects netapi/simnet inside deterministic campaigns or netapi/livenet
+// to query real resolvers over OS sockets (Do53, DoTCP, DoT, and DoH via
+// net/http). DoQ and DoH3 are sim-only: the QUIC stack exists on the sim
+// side, and Connect reports a clear error when the backend cannot
+// provide it.
 package dox
 
 import (

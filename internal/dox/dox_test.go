@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dnsmsg"
+	"repro/internal/netapi/simnet"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/tlsmini"
@@ -49,13 +50,11 @@ func newEnv(t *testing.T, seed int64, rtt time.Duration, loss float64, mut func(
 		Identity:    e.id,
 		TicketStore: e.store,
 		TokenKey:    []byte("token-key"),
-		Rand:        rng,
-		Now:         w.Now,
 	}
 	if mut != nil {
 		mut(&cfg)
 	}
-	e.srv = NewServer(sh, cfg)
+	e.srv = NewServer(simnet.New(sh, rng), cfg)
 	if err := e.srv.ServeAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -64,12 +63,10 @@ func newEnv(t *testing.T, seed int64, rtt time.Duration, loss float64, mut func(
 
 func (e *env) opts() Options {
 	return Options{
-		Host:         e.client,
+		Backend:      simnet.New(e.client, e.rng),
 		Resolver:     e.server.Addr(),
 		ServerName:   "resolver.example",
 		SessionCache: e.cache,
-		Rand:         e.rng,
-		Now:          e.w.Now,
 	}
 }
 

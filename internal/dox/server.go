@@ -2,16 +2,13 @@ package dox
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
-	"time"
 
 	"repro/internal/dnsmsg"
 	"repro/internal/h2"
 	"repro/internal/h3"
-	"repro/internal/netem"
+	"repro/internal/netapi"
 	"repro/internal/quic"
-	"repro/internal/tcpsim"
 	"repro/internal/tlsmini"
 )
 
@@ -21,7 +18,8 @@ import (
 // processing or recursive-lookup latency.
 type Handler func(q *dnsmsg.Message, proto Protocol, from netip.AddrPort) *dnsmsg.Message
 
-// ServerConfig configures a resolver-side transport endpoint set.
+// ServerConfig configures a resolver-side transport endpoint set. Clock
+// and randomness come from the backend the server is built on.
 type ServerConfig struct {
 	Handler  Handler
 	Identity *tlsmini.Identity
@@ -38,9 +36,6 @@ type ServerConfig struct {
 	// Ports default to the standard ones; DoQPort may be 784/8853 for
 	// early-draft deployments.
 	UDPPort, TCPPort, DoTPort, DoHPort, DoQPort, DoH3Port uint16
-
-	Rand *rand.Rand
-	Now  func() time.Duration
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {
@@ -69,22 +64,28 @@ func (c *ServerConfig) withDefaults() ServerConfig {
 	return v
 }
 
-// Server runs the requested transports on one host.
-type Server struct {
-	host *netem.Host
-	cfg  ServerConfig
+// quicListener is the capability a backend provides when it can accept
+// QUIC; see quicDialer.
+type quicListener interface {
+	ListenQUIC(port uint16, cfg quic.Config) (*quic.Listener, error)
+}
 
-	udpSock *netem.Socket
-	tcpL    *tcpsim.Listener
-	dotL    *tcpsim.Listener
-	dohL    *tcpsim.Listener
+// Server runs the requested transports on one backend.
+type Server struct {
+	be  netapi.Backend
+	cfg ServerConfig
+
+	udpSock netapi.PacketConn
+	tcpL    netapi.StreamListener
+	dotL    netapi.StreamListener
+	dohL    netapi.StreamListener
 	doqL    *quic.Listener
 	doh3L   *quic.Listener
 
 	// Free lists for the per-query task argument boxes, so steady-state
-	// request dispatch spawns through pre-bound adapters (sim.GoCall)
-	// with neither a closure nor a fresh carrier allocation. The sim
-	// world runs one task at a time, so no locking is needed.
+	// request dispatch spawns through pre-bound adapters (GoCall) with
+	// neither a closure nor a fresh carrier allocation. The sim world
+	// runs one task at a time, so no locking is needed.
 	udpFree []*udpJob
 	tcpFree []*tcpJob
 	dotFree []*dotJob
@@ -94,8 +95,8 @@ type Server struct {
 // udpJob carries one DoUDP query from the receive loop to its task.
 type udpJob struct {
 	s    *Server
-	sock *netem.Socket
-	d    netem.Datagram
+	sock netapi.PacketConn
+	p    netapi.Packet
 }
 
 // serveUDPJob is the pre-bound adapter for DoUDP queries. The box is
@@ -105,18 +106,18 @@ type udpJob struct {
 //simlint:hotpath
 func serveUDPJob(v any) {
 	j := v.(*udpJob)
-	s, sock, d := j.s, j.sock, j.d
-	j.s, j.sock, j.d = nil, nil, netem.Datagram{}
+	s, sock, p := j.s, j.sock, j.p
+	j.s, j.sock, j.p = nil, nil, netapi.Packet{}
 	s.udpFree = append(s.udpFree, j)
-	q, err := dnsmsg.Decode(d.Payload)
-	sock.Pool().Put(d.Payload)
+	q, err := dnsmsg.Decode(p.Payload)
+	sock.Pool().Put(p.Payload)
 	if err != nil {
 		return
 	}
-	if resp := s.cfg.Handler(q, DoUDP, d.Src); resp != nil {
+	if resp := s.cfg.Handler(q, DoUDP, p.Src); resp != nil {
 		// Encode straight into a pooled buffer; Send transfers its
 		// ownership to the network.
-		sock.Send(d.Src, resp.AppendEncode(sock.Pool().Get(512)))
+		sock.Send(p.Src, resp.AppendEncode(sock.Pool().Get(512)))
 	}
 }
 
@@ -124,7 +125,7 @@ func serveUDPJob(v any) {
 // public resolver supports edns-tcp-keepalive, paper §3).
 type tcpJob struct {
 	s    *Server
-	conn *tcpsim.Conn
+	conn netapi.StreamConn
 }
 
 func serveTCPJob(v any) {
@@ -210,21 +211,20 @@ func serveDoQJob(v any) {
 
 // NewServer creates a server; call the Serve* methods to enable
 // transports.
-func NewServer(host *netem.Host, cfg ServerConfig) *Server {
-	return &Server{host: host, cfg: cfg.withDefaults()}
+func NewServer(be netapi.Backend, cfg ServerConfig) *Server {
+	return &Server{be: be, cfg: cfg.withDefaults()}
 }
 
 // ServeUDP starts the DoUDP endpoint.
 func (s *Server) ServeUDP() error {
-	sock, err := s.host.Listen(netem.ProtoUDP, s.cfg.UDPPort, 8)
+	sock, err := s.be.ListenUDP(s.cfg.UDPPort, 8)
 	if err != nil {
 		return err
 	}
 	s.udpSock = sock
-	w := s.host.World()
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
-			d, ok := sock.Recv()
+			p, ok := sock.Recv()
 			if !ok {
 				return
 			}
@@ -235,8 +235,8 @@ func (s *Server) ServeUDP() error {
 			} else {
 				j = &udpJob{}
 			}
-			j.s, j.sock, j.d = s, sock, d
-			w.GoCall(serveUDPJob, j)
+			j.s, j.sock, j.p = s, sock, p
+			s.be.GoCall(serveUDPJob, j)
 		}
 	})
 	return nil
@@ -245,13 +245,12 @@ func (s *Server) ServeUDP() error {
 // ServeTCP starts the DoTCP endpoint. Connections close after one
 // exchange: no public resolver supports edns-tcp-keepalive (paper §3).
 func (s *Server) ServeTCP() error {
-	l, err := tcpsim.Listen(s.host, s.cfg.TCPPort)
+	l, err := s.be.ListenStream(s.cfg.TCPPort)
 	if err != nil {
 		return err
 	}
 	s.tcpL = l
-	w := s.host.World()
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
 			conn, ok := l.Accept()
 			if !ok {
@@ -265,7 +264,7 @@ func (s *Server) ServeTCP() error {
 				j = &tcpJob{}
 			}
 			j.s, j.conn = s, conn
-			w.GoCall(serveTCPJob, j)
+			s.be.GoCall(serveTCPJob, j)
 		}
 	})
 	return nil
@@ -291,26 +290,25 @@ func (s *Server) tlsServerConfig(alpn []string) tlsmini.Config {
 		TicketStore:           s.cfg.TicketStore,
 		DisableSessionTickets: s.cfg.DisableSessionTickets,
 		AcceptEarlyData:       s.cfg.AcceptEarlyData,
-		Rand:                  s.cfg.Rand,
-		Now:                   s.cfg.Now,
+		Rand:                  s.be.Rand(),
+		Now:                   s.be.Now,
 	}
 }
 
 // ServeDoT starts the DoT endpoint. Connections persist across queries.
 func (s *Server) ServeDoT() error {
-	l, err := tcpsim.Listen(s.host, s.cfg.DoTPort)
+	l, err := s.be.ListenStream(s.cfg.DoTPort)
 	if err != nil {
 		return err
 	}
 	s.dotL = l
-	w := s.host.World()
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
 			conn, ok := l.Accept()
 			if !ok {
 				return
 			}
-			w.Go(func() {
+			s.be.Go(func() {
 				tls := tlsmini.NewConn(conn, s.tlsServerConfig([]string{"dot"}))
 				if err := tls.Handshake(); err != nil {
 					conn.Close()
@@ -337,7 +335,7 @@ func (s *Server) ServeDoT() error {
 							j = &dotJob{}
 						}
 						j.s, j.tls, j.from, j.wire = s, tls, conn.RemoteAddr(), wire
-						w.GoCall(serveDoTJob, j)
+						s.be.GoCall(serveDoTJob, j)
 					}
 					if off == len(buf) {
 						buf = buf[:0]
@@ -358,26 +356,25 @@ func (s *Server) ServeDoT() error {
 
 // ServeDoH starts the DoH endpoint (HTTP/2 over TLS).
 func (s *Server) ServeDoH() error {
-	l, err := tcpsim.Listen(s.host, s.cfg.DoHPort)
+	l, err := s.be.ListenStream(s.cfg.DoHPort)
 	if err != nil {
 		return err
 	}
 	s.dohL = l
-	w := s.host.World()
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
 			conn, ok := l.Accept()
 			if !ok {
 				return
 			}
-			w.Go(func() {
+			s.be.Go(func() {
 				tls := tlsmini.NewConn(conn, s.tlsServerConfig([]string{"h2"}))
 				if err := tls.Handshake(); err != nil {
 					conn.Close()
 					return
 				}
 				remote := conn.RemoteAddr()
-				h2.ServeConn(w, tls, func(headers []h2.Header, body []byte) ([]h2.Header, []byte) {
+				h2.ServeConn(s.be, tls, func(headers []h2.Header, body []byte) ([]h2.Header, []byte) {
 					q, err := dnsmsg.Decode(body)
 					if err != nil {
 						return []h2.Header{{Name: ":status", Value: "400"}}, nil
@@ -399,10 +396,9 @@ func (s *Server) ServeDoH() error {
 	return nil
 }
 
-// ServeDoQ starts the DoQ endpoint.
-func (s *Server) ServeDoQ() error {
-	cfg := quic.Config{
-		ALPN:                  []string{s.cfg.DoQALPN},
+func (s *Server) quicServerConfig(alpn string) quic.Config {
+	return quic.Config{
+		ALPN:                  []string{alpn},
 		Identity:              s.cfg.Identity,
 		TicketStore:           s.cfg.TicketStore,
 		DisableSessionTickets: s.cfg.DisableSessionTickets,
@@ -412,23 +408,30 @@ func (s *Server) ServeDoQ() error {
 		TLSVersion: 0,
 		Versions:   s.cfg.QUICVersions,
 		TokenKey:   s.cfg.TokenKey,
-		Rand:       s.cfg.Rand,
-		Now:        s.cfg.Now,
+		Rand:       s.be.Rand(),
+		Now:        s.be.Now,
 	}
-	l, err := quic.Listen(s.host, s.cfg.DoQPort, cfg)
+}
+
+// ServeDoQ starts the DoQ endpoint.
+func (s *Server) ServeDoQ() error {
+	ql, ok := s.be.(quicListener)
+	if !ok {
+		return fmt.Errorf("dox: DoQ requires a QUIC-capable backend (sim only)")
+	}
+	l, err := ql.ListenQUIC(s.cfg.DoQPort, s.quicServerConfig(s.cfg.DoQALPN))
 	if err != nil {
 		return err
 	}
 	s.doqL = l
-	w := s.host.World()
 	prefixed := alpnUsesLengthPrefix(s.cfg.DoQALPN)
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
 			conn, ok := l.Accept()
 			if !ok {
 				return
 			}
-			w.Go(func() {
+			s.be.Go(func() {
 				for {
 					st, ok := conn.AcceptStream()
 					if !ok {
@@ -442,7 +445,7 @@ func (s *Server) ServeDoQ() error {
 						j = &doqJob{}
 					}
 					j.s, j.conn, j.st, j.prefixed = s, conn, st, prefixed
-					w.GoCall(serveDoQJob, j)
+					s.be.GoCall(serveDoQJob, j)
 				}
 			})
 		}
@@ -455,34 +458,24 @@ func (s *Server) ServeDoQ() error {
 // session warmed on either QUIC transport resumes with the same
 // machinery.
 func (s *Server) ServeDoH3() error {
-	cfg := quic.Config{
-		ALPN:                  []string{DoH3ALPN},
-		Identity:              s.cfg.Identity,
-		TicketStore:           s.cfg.TicketStore,
-		DisableSessionTickets: s.cfg.DisableSessionTickets,
-		AcceptEarlyData:       s.cfg.AcceptEarlyData,
-		// QUIC mandates TLS 1.3 (RFC 9001), as for DoQ.
-		TLSVersion: 0,
-		Versions:   s.cfg.QUICVersions,
-		TokenKey:   s.cfg.TokenKey,
-		Rand:       s.cfg.Rand,
-		Now:        s.cfg.Now,
+	ql, ok := s.be.(quicListener)
+	if !ok {
+		return fmt.Errorf("dox: DoH3 requires a QUIC-capable backend (sim only)")
 	}
-	l, err := quic.Listen(s.host, s.cfg.DoH3Port, cfg)
+	l, err := ql.ListenQUIC(s.cfg.DoH3Port, s.quicServerConfig(DoH3ALPN))
 	if err != nil {
 		return err
 	}
 	s.doh3L = l
-	w := s.host.World()
-	w.Go(func() {
+	s.be.Go(func() {
 		for {
 			conn, ok := l.Accept()
 			if !ok {
 				return
 			}
 			remote := conn.RemoteAddr()
-			w.Go(func() {
-				h3.ServeConn(w, conn, func(headers []h3.Header, body []byte) ([]h3.Header, []byte) {
+			s.be.Go(func() {
+				h3.ServeConn(s.be, conn, func(headers []h3.Header, body []byte) ([]h3.Header, []byte) {
 					q, err := dnsmsg.Decode(body)
 					if err != nil {
 						return []h3.Header{{Name: ":status", Value: "400"}}, nil
@@ -519,7 +512,7 @@ func (s *Server) Close() {
 	if s.udpSock != nil {
 		s.udpSock.Close()
 	}
-	for _, l := range []*tcpsim.Listener{s.tcpL, s.dotL, s.dohL} {
+	for _, l := range []netapi.StreamListener{s.tcpL, s.dotL, s.dohL} {
 		if l != nil {
 			l.Close()
 		}

@@ -22,7 +22,7 @@ import (
 	"maps"
 	"slices"
 
-	"repro/internal/sim"
+	"repro/internal/netapi"
 	"repro/internal/tlsmini"
 )
 
@@ -225,7 +225,7 @@ func (r *Response) Status() string {
 
 // ClientConn is the client side of an HTTP/2 connection.
 type ClientConn struct {
-	w       *sim.World
+	rt      netapi.Runtime
 	s       tlsmini.Stream
 	reader  *frameReader
 	encTab  *hpackTable
@@ -238,14 +238,14 @@ type ClientConn struct {
 type streamState struct {
 	headers []Header
 	body    []byte
-	done    *sim.Future[*Response]
+	done    *netapi.Future[*Response]
 }
 
 // NewClientConn sends the connection preface and SETTINGS, and starts the
 // response dispatcher.
-func NewClientConn(w *sim.World, s tlsmini.Stream) (*ClientConn, error) {
+func NewClientConn(rt netapi.Runtime, s tlsmini.Stream) (*ClientConn, error) {
 	c := &ClientConn{
-		w:       w,
+		rt:      rt,
 		s:       s,
 		reader:  &frameReader{s: s},
 		encTab:  newHpackTable(),
@@ -259,7 +259,7 @@ func NewClientConn(w *sim.World, s tlsmini.Stream) (*ClientConn, error) {
 	if err := writeFrame(s, frameSettings, 0, 0, settingsPayload); err != nil {
 		return nil, err
 	}
-	w.Go(c.readLoop)
+	rt.Go(c.readLoop)
 	return c, nil
 }
 
@@ -329,7 +329,7 @@ func (c *ClientConn) RoundTrip(headers []Header, body []byte) (*Response, error)
 	c.nextID += 2
 	// Static name: the id only matters in deadlock diagnostics, and
 	// formatting it would allocate per request.
-	st := &streamState{done: sim.NewFuture[*Response](c.w, "h2-stream")}
+	st := &streamState{done: netapi.NewFuture[*Response](c.rt, "h2-stream")}
 	c.pending[id] = st
 	if err := writeFrame(c.s, frameHeaders, flagEndHeaders, id, c.encTab.encode(headers)); err != nil {
 		return nil, err
@@ -359,7 +359,7 @@ type Handler func(headers []Header, body []byte) (respHeaders []Header, respBody
 
 // ServeConn runs the server side of an HTTP/2 connection until the peer
 // disconnects. It blocks, so call it from its own sim task.
-func ServeConn(w *sim.World, s tlsmini.Stream, handler Handler) {
+func ServeConn(rt netapi.Runtime, s tlsmini.Stream, handler Handler) {
 	reader := &frameReader{s: s}
 	// Consume the client preface.
 	if !reader.skip(len(ClientPreface)) {
@@ -369,7 +369,7 @@ func ServeConn(w *sim.World, s tlsmini.Stream, handler Handler) {
 		return
 	}
 	decTab := newHpackTable()
-	srv := &serverConn{w: w, s: s, encTab: newHpackTable(), handler: handler}
+	srv := &serverConn{rt: rt, s: s, encTab: newHpackTable(), handler: handler}
 	reqs := make(map[uint32]*reqState)
 	for {
 		f, ok := reader.next()
@@ -420,7 +420,7 @@ type reqState struct {
 // its response tasks, plus a free list of their argument boxes so the
 // per-request spawn is neither a closure nor a fresh carrier.
 type serverConn struct {
-	w       *sim.World
+	rt      netapi.Runtime
 	s       tlsmini.Stream
 	encTab  *hpackTable
 	handler Handler
@@ -442,7 +442,7 @@ func (srv *serverConn) spawn(id uint32, req *reqState) {
 		j = &serveJob{}
 	}
 	j.srv, j.id, j.req = srv, id, req
-	srv.w.GoCall(serveOne, j)
+	srv.rt.GoCall(serveOne, j)
 }
 
 // serveOne is the pre-bound adapter every response task shares. The job

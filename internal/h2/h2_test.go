@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/netapi/simnet"
 	"repro/internal/sim"
 	"repro/internal/tlsmini"
 )
@@ -37,11 +38,11 @@ func dohHandler(headers []Header, body []byte) ([]Header, []byte) {
 func TestRoundTrip(t *testing.T) {
 	w := sim.NewWorld(1)
 	cs, ss := pipe(w)
-	w.Go(func() { ServeConn(w, ss, dohHandler) })
+	w.Go(func() { ServeConn(simnet.NewRuntime(w, nil), ss, dohHandler) })
 	var resp *Response
 	var err error
 	w.Go(func() {
-		c, cerr := NewClientConn(w, cs)
+		c, cerr := NewClientConn(simnet.NewRuntime(w, nil), cs)
 		if cerr != nil {
 			t.Error(cerr)
 			return
@@ -68,10 +69,10 @@ func TestRoundTrip(t *testing.T) {
 func TestMultipleRequestsOneConnection(t *testing.T) {
 	w := sim.NewWorld(1)
 	cs, ss := pipe(w)
-	w.Go(func() { ServeConn(w, ss, dohHandler) })
+	w.Go(func() { ServeConn(simnet.NewRuntime(w, nil), ss, dohHandler) })
 	bodies := make([][]byte, 3)
 	w.Go(func() {
-		c, err := NewClientConn(w, cs)
+		c, err := NewClientConn(simnet.NewRuntime(w, nil), cs)
 		if err != nil {
 			t.Error(err)
 			return
@@ -160,7 +161,7 @@ func TestServerConnClosedMidRequest(t *testing.T) {
 		ss.Close()
 	})
 	w.Go(func() {
-		c, cerr := NewClientConn(w, cs)
+		c, cerr := NewClientConn(simnet.NewRuntime(w, nil), cs)
 		if cerr != nil {
 			t.Error(cerr)
 			return

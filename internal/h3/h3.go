@@ -30,8 +30,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/netapi"
 	"repro/internal/quic"
-	"repro/internal/sim"
 )
 
 // Frame types (RFC 9114 §7.2).
@@ -273,7 +273,7 @@ func (r *Response) Status() string {
 // runs on its own client-initiated bidirectional QUIC stream (HEADERS
 // then DATA, FIN); the control stream carries the SETTINGS exchange.
 type ClientConn struct {
-	w      *sim.World
+	rt     netapi.Runtime
 	conn   *quic.Conn
 	ctrl   *quic.Stream
 	closed bool
@@ -285,14 +285,14 @@ type ClientConn struct {
 // packets; the framing depends only on the static QPACK table, so it
 // needs no negotiated server state (the DoH3 analogue of DoQ's rule
 // that 0-RTT framing follows the offered ALPN).
-func NewClientConn(w *sim.World, conn *quic.Conn) *ClientConn {
-	c := &ClientConn{w: w, conn: conn, ctrl: conn.OpenStream()}
+func NewClientConn(rt netapi.Runtime, conn *quic.Conn) *ClientConn {
+	c := &ClientConn{rt: rt, conn: conn, ctrl: conn.OpenStream()}
 	var b []byte
 	b = quic.AppendVarint(b, StreamTypeControl)
 	b = appendFrame(b, frameSettings, settingsPayload())
 	c.ctrl.Write(b, false)
 	// Drain the server's SETTINGS (and any GOAWAY) until teardown.
-	w.Go(func() {
+	rt.Go(func() {
 		for {
 			if _, ok := c.ctrl.Read(); !ok {
 				return
@@ -371,7 +371,7 @@ type Handler func(headers []Header, body []byte) (respHeaders []Header, respBody
 // disconnects: the control stream answers the SETTINGS exchange, request
 // streams are served concurrently. It blocks, so call it from its own
 // sim task.
-func ServeConn(w *sim.World, conn *quic.Conn, handler Handler) {
+func ServeConn(rt netapi.Runtime, conn *quic.Conn, handler Handler) {
 	srv := &serverConn{handler: handler}
 	for {
 		st, ok := conn.AcceptStream()
@@ -388,7 +388,7 @@ func ServeConn(w *sim.World, conn *quic.Conn, handler Handler) {
 			j = &streamJob{}
 		}
 		j.srv, j.st = srv, st
-		w.GoCall(serveStreamJob, j)
+		rt.GoCall(serveStreamJob, j)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netapi/simnet"
 	"repro/internal/netem"
 	"repro/internal/quic"
 	"repro/internal/sim"
@@ -119,7 +120,7 @@ func TestRequestResponseOverQUIC(t *testing.T) {
 				return
 			}
 			e.w.Go(func() {
-				ServeConn(e.w, conn, func(headers []Header, body []byte) ([]Header, []byte) {
+				ServeConn(simnet.NewRuntime(e.w, nil), conn, func(headers []Header, body []byte) ([]Header, []byte) {
 					for _, h := range headers {
 						if h.Name == ":path" && h.Value != "/dns-query" {
 							return []Header{{":status", "404"}}, nil
@@ -143,7 +144,7 @@ func TestRequestResponseOverQUIC(t *testing.T) {
 			t.Errorf("dial: %v", err)
 			return
 		}
-		c := NewClientConn(e.w, conn)
+		c := NewClientConn(simnet.NewRuntime(e.w, nil), conn)
 		resp1, err = c.RoundTrip([]Header{
 			{":method", "POST"}, {":scheme", "https"},
 			{":authority", "h3.example"}, {":path", "/dns-query"},

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// backendConsumerPkgNames are the packages written against the netapi
+// backend seam: protocol clients, the stub proxy, the HTTP layers and
+// the browser model. They reach scheduling and sockets only through
+// netapi.Backend, so the identical code runs on simnet and livenet;
+// a direct simulation-stack import would silently re-couple them to
+// one backend. The sim-stack packages themselves (quic, tcpsim,
+// tlsmini) are deliberately absent — they ARE the simulation transport.
+var backendConsumerPkgNames = map[string]bool{
+	"browser":  true,
+	"dnsproxy": true,
+	"dox":      true,
+	"h2":       true,
+	"h3":       true,
+}
+
+// BackendPurity enforces the backend seam at the import graph.
+var BackendPurity = &analysis.Analyzer{
+	Name: "backendpurity",
+	Doc: `forbid simulation-stack imports across the netapi seam
+
+Two import rules keep the backend seam honest:
+
+  - netapi/livenet must not import internal/sim or internal/netem: the
+    live backend exists so real sockets can replace the simulation, and
+    a kernel import would drag virtual time into live measurements.
+  - backend-consumer packages (dox, dnsproxy, browser, h2, h3) must not
+    import internal/sim or internal/netem directly; everything they
+    need from a runtime arrives via netapi.Backend. (netapi/simnet is
+    the one sanctioned adapter between the seam and the kernel.)
+
+Violations are hard errors, not ratcheted: the seam held at zero when
+it was introduced and must stay there.`,
+	Run: runBackendPurity,
+}
+
+// isLivenetPkg reports whether path is the live backend package.
+func isLivenetPkg(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && segs[len(segs)-1] == "livenet"
+}
+
+// isNetemPkgPath reports whether path is the network emulator package.
+func isNetemPkgPath(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && segs[len(segs)-1] == "netem"
+}
+
+// isBackendConsumerPkg reports whether path is written against the
+// netapi seam.
+func isBackendConsumerPkg(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && backendConsumerPkgNames[segs[len(segs)-1]]
+}
+
+func runBackendPurity(pass *analysis.Pass) error {
+	pkgPath := pass.Pkg.Path()
+	var role string
+	switch {
+	case isLivenetPkg(pkgPath):
+		role = "the live backend"
+	case isBackendConsumerPkg(pkgPath):
+		role = "a backend-seam consumer"
+	default:
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case isSimPkgPath(target):
+				pass.Reportf(imp.Pos(), "%s is %s and must not import the simulation kernel %s; use netapi.Backend", pass.Pkg.Name(), role, target)
+			case isNetemPkgPath(target):
+				pass.Reportf(imp.Pos(), "%s is %s and must not import the network emulator %s; use netapi.Backend", pass.Pkg.Name(), role, target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,8 +1,9 @@
-// Package lint is the simlint analyzer suite: six static checkers that
-// machine-enforce the invariants this repository otherwise guarantees
-// only by convention and after-the-fact runtime tests.
+// Package lint is the simlint analyzer suite: seven static checkers
+// that machine-enforce the invariants this repository otherwise
+// guarantees only by convention and after-the-fact runtime tests.
 //
-//	nowallclock  virtual time only in internal/... (no time.Now etc.)
+//	nowallclock  virtual time only in internal/... (no time.Now etc.;
+//	             netapi/livenet is exempt — the wall clock is its job)
 //	seededrand   randomness flows through seeded *rand.Rand, never the
 //	             global math/rand source or crypto/rand
 //	maporder     no order-dependent effects inside map iteration
@@ -12,6 +13,9 @@
 //	             marked //simlint:hotpath
 //	layering     protocol packages do not reference sim.World directly
 //	             (ratcheted by a committed baseline)
+//	backendpurity  netapi/livenet never imports sim/netem, and
+//	             backend-seam consumers (dox, dnsproxy, browser, h2,
+//	             h3) reach the runtime only through netapi
 //
 // Intentional exceptions are recorded in the source as
 // //simlint:allow <rule> <reason>; the reason is mandatory. See
@@ -28,6 +32,7 @@ import (
 
 // Analyzers is the full simlint suite, in report order.
 var Analyzers = []*analysis.Analyzer{
+	BackendPurity,
 	HotAlloc,
 	Layering,
 	MapOrder,

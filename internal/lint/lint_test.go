@@ -35,6 +35,14 @@ func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.HotAlloc, "repro/internal/hotuser")
 }
 
+func TestBackendPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.BackendPurity,
+		"repro/internal/netapi/livenet",
+		"repro/internal/netapi/simnet",
+		"repro/internal/dox",
+	)
+}
+
 func TestLayering(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Layering,
 		"repro/internal/h2",

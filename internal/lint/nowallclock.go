@@ -32,12 +32,14 @@ sim timers). Calling time.Now, time.Since, time.After, time.Sleep, or a
 timer constructor couples results to the host clock and breaks the
 byte-identical-reports guarantee. Commands under cmd/ are exempt: they
 time campaigns for stderr progress lines, which never reach report
-output.`,
+output. netapi/livenet is exempt by design: it is the backend that
+exists to bind the seam to the wall clock, and nothing it measures
+reaches committed reports.`,
 	Run: runNoWallClock,
 }
 
 func runNoWallClock(pass *analysis.Pass) error {
-	if isCmdPkg(pass.Pkg.Path()) || !isInternalPkg(pass.Pkg.Path()) {
+	if isCmdPkg(pass.Pkg.Path()) || !isInternalPkg(pass.Pkg.Path()) || isLivenetPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	pass.Inspect(func(n ast.Node) bool {

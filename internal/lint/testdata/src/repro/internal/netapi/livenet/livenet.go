@@ -1,0 +1,16 @@
+// Package livenet is a fixture live backend for the backendpurity
+// rule: any simulation-stack import is a hard error.
+package livenet
+
+import (
+	"repro/internal/netapi"
+	"repro/internal/netem" // want `livenet is the live backend and must not import the network emulator`
+	"repro/internal/sim"   // want `livenet is the live backend and must not import the simulation kernel`
+)
+
+type Backend struct {
+	rt netapi.Runtime
+	h  netem.Host
+}
+
+var _ = sim.DeriveSeed

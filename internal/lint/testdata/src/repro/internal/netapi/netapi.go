@@ -1,0 +1,6 @@
+// Package netapi is a fixture stand-in for the backend seam.
+package netapi
+
+type Runtime interface {
+	Go(fn func())
+}

@@ -1,0 +1,16 @@
+// Package simnet is a fixture sim adapter: the one sanctioned bridge
+// between the seam and the kernel, so its sim/netem imports are clean.
+package simnet
+
+import (
+	"repro/internal/netapi"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+type Backend struct {
+	rt netapi.Runtime
+	h  netem.Host
+}
+
+var _ = sim.DeriveSeed

@@ -1,0 +1,4 @@
+// Package netem is a fixture stand-in for the network emulator.
+package netem
+
+type Host struct{}

@@ -201,12 +201,10 @@ func runCacheStream(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, r
 		}
 		if client == nil {
 			c, err := dox.Connect(cfg.Protocol, dox.Options{
-				Host:       vp.Host,
+				Backend:    vp.Backend,
 				Resolver:   res.Addr,
 				ServerName: res.Name,
 				DoQPort:    res.DoQPort,
-				Rand:       u.Rand,
-				Now:        w.Now,
 			})
 			if err != nil {
 				continue

@@ -12,6 +12,11 @@
 // The same warming discipline applies to DoH3 (E13–E15), whose sessions
 // resume through identical QUIC machinery under the "h3" ALPN.
 //
+// Campaigns run every client on the vantage's netapi/simnet backend
+// (resolver.Vantage.Backend), the deterministic side of the DESIGN.md
+// §10 seam; the identical client code serves live measurements through
+// cmd/dnsperf -backend live.
+//
 // Web (§2, §3.2): per [vantage : resolver : protocol] combination a local
 // DNS proxy forwards Chromium's queries upstream; a cache-warming
 // navigation precedes the measured loads; proxy sessions are reset in
@@ -266,12 +271,10 @@ func newVantageRunner(u *resolver.Universe, vp *resolver.Vantage, cfg SingleQuer
 
 func (r *vantageRunner) options(res *resolver.Resolver, proto dox.Protocol, warming bool) dox.Options {
 	o := dox.Options{
-		Host:       r.vp.Host,
+		Backend:    r.vp.Backend,
 		Resolver:   res.Addr,
 		ServerName: res.Name,
 		DoQPort:    res.DoQPort,
-		Rand:       r.u.Rand,
-		Now:        r.u.W.Now,
 	}
 	if r.cfg.DisableResumption && !warming {
 		// Cold session: fresh cache, no token, no cached version. The
@@ -477,14 +480,12 @@ func webShardBody(u *resolver.Universe, vp *resolver.Vantage, cfg WebConfig) []W
 func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, res *resolver.Resolver, proto dox.Protocol, cfg WebConfig) []WebSample {
 	// A fresh proxy per combination, as the paper sets DNS Proxy up anew.
 	listenPort := uint16(10000 + vp.Index)
-	proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
+	proxy, err := dnsproxy.New(vp.Backend, dnsproxy.Config{
 		Upstream: proto,
 		Options: dox.Options{
 			Resolver:   res.Addr,
 			ServerName: res.Name,
 			DoQPort:    res.DoQPort,
-			Rand:       u.Rand,
-			Now:        u.W.Now,
 		},
 		ListenPort:        listenPort,
 		FixDoTReuse:       cfg.FixDoTReuse,
@@ -496,7 +497,7 @@ func runWebCombo(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, res 
 		return nil
 	}
 	defer proxy.Close()
-	eng := &browser.Engine{Host: vp.Host, Proxy: proxy.Addr()}
+	eng := &browser.Engine{Backend: vp.Backend, Proxy: proxy.Addr()}
 
 	var out []WebSample
 	for _, page := range cfg.Pages {

@@ -202,14 +202,12 @@ func RunProxyServe(cfg ProxyServeConfig) ([]ProxyServeSummary, error) {
 func runProxyStream(u *resolver.Universe, vp *resolver.Vantage, globalIdx int, res *resolver.Resolver, cfg ProxyServeConfig) ProxyServeSummary {
 	w := u.W
 	s := newProxyServeSummary(vp.Name, globalIdx, cfg.Protocol)
-	proxy, err := dnsproxy.New(vp.Host, dnsproxy.Config{
+	proxy, err := dnsproxy.New(vp.Backend, dnsproxy.Config{
 		Upstream: cfg.Protocol,
 		Options: dox.Options{
 			Resolver:   res.Addr,
 			ServerName: res.Name,
 			DoQPort:    res.DoQPort,
-			Rand:       u.Rand,
-			Now:        w.Now,
 			UDPTimeout: cfg.UDPTimeout,
 		},
 		ListenPort:         uint16(10000 + vp.Index),

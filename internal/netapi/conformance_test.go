@@ -1,0 +1,191 @@
+// Conformance suite: the Runtime contract (timers, events, groups,
+// locks) must behave identically on both backends, because the
+// protocol clients are written once against the seam. Each case runs
+// on simnet inside a virtual-time world and on livenet with real
+// goroutines and short wall-clock delays.
+package netapi_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netapi"
+	"repro/internal/netapi/livenet"
+	"repro/internal/netapi/simnet"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// onBackends runs fn on a task of each backend. The sim variant owns a
+// fresh world and drains it; the live variant runs fn directly.
+func onBackends(t *testing.T, fn func(t *testing.T, be netapi.Backend)) {
+	t.Run("simnet", func(t *testing.T) {
+		w := sim.NewWorld(1)
+		n := netem.NewNetwork(w)
+		host := n.Host(netip.MustParseAddr("10.9.0.1"))
+		be := simnet.New(host, rand.New(rand.NewSource(1)))
+		w.Go(func() { fn(t, be) })
+		w.Run()
+	})
+	t.Run("livenet", func(t *testing.T) {
+		fn(t, livenet.New(1))
+	})
+}
+
+func TestTimerCancelBeforeFire(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		mu := be.NewLock()
+		fired := false
+		tm := be.AfterFunc(50*time.Millisecond, func() {
+			mu.Lock()
+			fired = true
+			mu.Unlock()
+		})
+		if !tm.Stop() {
+			t.Error("Stop before fire = false, want true")
+		}
+		be.Sleep(80 * time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		if fired {
+			t.Error("stopped timer fired")
+		}
+	})
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		done := be.NewEvent("conformance-fire")
+		tm := be.AfterFunc(time.Millisecond, func() { done.Complete(true) })
+		if !done.Wait() {
+			t.Fatal("timer event failed")
+		}
+		if tm.Stop() {
+			t.Error("Stop after fire = true, want false")
+		}
+	})
+}
+
+func TestTimerFireOrder(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		mu := be.NewLock()
+		var order []int
+		done := be.NewEvent("conformance-order")
+		for i, d := range []time.Duration{30, 10, 20} {
+			i, d := i, d
+			be.AfterFunc(d*time.Millisecond, func() {
+				mu.Lock()
+				order = append(order, i)
+				n := len(order)
+				mu.Unlock()
+				if n == 3 {
+					done.Complete(true)
+				}
+			})
+		}
+		done.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+			t.Errorf("fire order = %v, want [1 2 0]", order)
+		}
+	})
+}
+
+func TestEventCompleteValue(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		okEv := be.NewEvent("conformance-ok")
+		be.Go(func() { okEv.Complete(true) })
+		if !okEv.Wait() {
+			t.Error("completed-ok event: Wait = false")
+		}
+		failEv := be.NewEvent("conformance-fail")
+		be.Go(func() { failEv.Complete(false) })
+		if failEv.Wait() {
+			t.Error("failed event: Wait = true")
+		}
+	})
+}
+
+func TestEventDeadlineExceeded(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		ev := be.NewEvent("conformance-deadline")
+		start := be.Now()
+		if ev.WaitTimeout(30 * time.Millisecond) {
+			t.Error("WaitTimeout on pending event = true")
+		}
+		if el := be.Now() - start; el < 30*time.Millisecond {
+			t.Errorf("deadline returned after %v, want >= 30ms", el)
+		}
+		// A late completion is still observable by later waiters.
+		ev.Complete(true)
+		if !ev.WaitTimeout(30 * time.Millisecond) {
+			t.Error("completed event: WaitTimeout = false")
+		}
+	})
+}
+
+func TestEventCompleteBeforeWait(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		ev := be.NewEvent("conformance-prewait")
+		ev.Complete(true)
+		if !ev.Wait() {
+			t.Error("pre-completed event: Wait = false")
+		}
+	})
+}
+
+func TestGroupWait(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		mu := be.NewLock()
+		n := 0
+		wg := be.NewGroup()
+		wg.Add(3)
+		for i := 0; i < 3; i++ {
+			be.Go(func() {
+				be.Sleep(time.Millisecond)
+				mu.Lock()
+				n++
+				mu.Unlock()
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if n != 3 {
+			t.Errorf("after Wait, %d of 3 tasks recorded", n)
+		}
+	})
+}
+
+func TestFutureResolveAndFail(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		f := netapi.NewFuture[int](be, "conformance-future")
+		be.Go(func() { f.Resolve(42) })
+		if v, ok := f.Wait(); !ok || v != 42 {
+			t.Errorf("resolved future = (%v, %v), want (42, true)", v, ok)
+		}
+		g := netapi.NewFuture[int](be, "conformance-future-fail")
+		be.Go(func() { g.Fail() })
+		if _, ok := g.Wait(); ok {
+			t.Error("failed future: ok = true")
+		}
+		h := netapi.NewFuture[int](be, "conformance-future-timeout")
+		if _, ok := h.WaitTimeout(20 * time.Millisecond); ok {
+			t.Error("pending future: WaitTimeout ok = true")
+		}
+	})
+}
+
+func TestMonotonicClock(t *testing.T) {
+	onBackends(t, func(t *testing.T, be netapi.Backend) {
+		a := be.Now()
+		be.Sleep(10 * time.Millisecond)
+		if b := be.Now(); b-a < 10*time.Millisecond {
+			t.Errorf("Sleep(10ms) advanced clock by %v", b-a)
+		}
+	})
+}

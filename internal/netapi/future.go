@@ -1,0 +1,48 @@
+package netapi
+
+import "time"
+
+// Future is a one-shot value handed from one task to another, built on
+// the backend's Event primitive. It mirrors sim.Future's contract: on
+// the sim backend Resolve/Wait compile down to exactly the same kernel
+// operations (one queue push waking one waiter), so replacing
+// sim.Future with netapi.Future changes no scheduling order.
+type Future[T any] struct {
+	ev  Event
+	val T
+}
+
+// NewFuture creates an unresolved future. name appears in deadlock
+// diagnostics on the sim backend.
+func NewFuture[T any](rt Runtime, name string) *Future[T] {
+	return &Future[T]{ev: rt.NewEvent(name)}
+}
+
+// Resolve sets the value and wakes waiters. The value is written before
+// the completion is published, so waiters on any backend observe it.
+func (f *Future[T]) Resolve(v T) {
+	f.val = v
+	f.ev.Complete(true)
+}
+
+// Fail abandons the future, unblocking waiters with ok=false.
+func (f *Future[T]) Fail() { f.ev.Complete(false) }
+
+// Wait blocks until the future is resolved or failed.
+func (f *Future[T]) Wait() (T, bool) {
+	if !f.ev.Wait() {
+		var zero T
+		return zero, false
+	}
+	return f.val, true
+}
+
+// WaitTimeout is Wait with a deadline; ok is false on timeout or
+// failure.
+func (f *Future[T]) WaitTimeout(d time.Duration) (T, bool) {
+	if !f.ev.WaitTimeout(d) {
+		var zero T
+		return zero, false
+	}
+	return f.val, true
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
+	"repro/internal/netapi/simnet"
 	"repro/internal/netem"
 	"repro/internal/quic"
 	"repro/internal/sim"
@@ -176,10 +177,8 @@ func Start(host *netem.Host, prof Profile, rng *rand.Rand) (*Resolver, error) {
 		DoQALPN:               prof.DoQALPN,
 		DoQPort:               prof.DoQPort,
 		TokenKey:              []byte(prof.Name + "-token-key"),
-		Rand:                  rng,
-		Now:                   w.Now,
 	}
-	r.server = dox.NewServer(host, cfg)
+	r.server = dox.NewServer(simnet.New(host, rng), cfg)
 	type ent struct {
 		p  dox.Protocol
 		fn func() error

@@ -76,12 +76,10 @@ func TestUniverseSmokeAllProtocols(t *testing.T) {
 	u.W.Go(func() {
 		for _, proto := range dox.Protocols {
 			c, err := dox.Connect(proto, dox.Options{
-				Host:         vp.Host,
+				Backend:      vp.Backend,
 				Resolver:     res.Addr,
 				ServerName:   res.Name,
 				QUICVersions: []uint32{res.QUICVersion},
-				Rand:         u.Rand,
-				Now:          u.W.Now,
 			})
 			if err != nil {
 				t.Errorf("%v: %v", proto, err)
@@ -121,7 +119,7 @@ func TestCacheWarmingMakesSecondQueryFast(t *testing.T) {
 	var cold, warm time.Duration
 	u.W.Go(func() {
 		c, err := dox.Connect(dox.DoUDP, dox.Options{
-			Host: vp.Host, Resolver: res.Addr, Rand: u.Rand, Now: u.W.Now,
+			Backend: vp.Backend, Resolver: res.Addr,
 		})
 		if err != nil {
 			t.Error(err)
@@ -285,7 +283,7 @@ func TestUnresponsiveness(t *testing.T) {
 	const queries = 40
 	u.W.Go(func() {
 		c, _ := dox.Connect(dox.DoUDP, dox.Options{
-			Host: vp.Host, Resolver: res.Addr, Rand: u.Rand, Now: u.W.Now,
+			Backend: vp.Backend, Resolver: res.Addr,
 			UDPTimeout: 100 * time.Millisecond, UDPRetries: 1,
 		})
 		for i := 0; i < queries; i++ {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/netapi/simnet"
 	"repro/internal/netem"
 	"repro/internal/sim"
 )
@@ -15,6 +16,10 @@ import (
 type Vantage struct {
 	geo.VantagePoint
 	Host *netem.Host
+	// Backend is the vantage's netapi seam over Host, sharing the
+	// Universe's random stream; clients built on it draw from the same
+	// sequence the pre-seam Options.Rand plumbing produced.
+	Backend *simnet.Backend
 	// Index is the vantage's global index in the blueprint (stable across
 	// partitioned instantiations).
 	Index int
@@ -218,7 +223,7 @@ func (b *Blueprint) Instantiate(seed int64, sc Scope) (*Universe, error) {
 		// a resolver — and every analytic content download the browser
 		// performs — traverses this link.
 		net.SetAccessLink(addr, b.Access)
-		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: b.Vantages[i], Host: host, Index: i})
+		u.Vantages = append(u.Vantages, &Vantage{VantagePoint: b.Vantages[i], Host: host, Backend: simnet.New(host, u.Rand), Index: i})
 	}
 
 	lo, hi := sc.ResolverLo, sc.ResolverHi

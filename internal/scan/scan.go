@@ -31,6 +31,7 @@ import (
 	"repro/internal/dnsmsg"
 	"repro/internal/dox"
 	"repro/internal/geo"
+	"repro/internal/netapi/simnet"
 	"repro/internal/netem"
 	"repro/internal/quic"
 	"repro/internal/sim"
@@ -297,10 +298,8 @@ func BuildTargets(net *netem.Network, seed int64, plans []TargetPlan, lo, hi int
 				Identity:    tlsmini.GenerateIdentity(rng, fmt.Sprintf("scan-%d", gi), 1100),
 				TicketStore: tlsmini.NewTicketStore(),
 				DoQPort:     p.DoQPort,
-				Rand:        rng,
-				Now:         w.Now,
 			}
-			srv := dox.NewServer(host, cfg)
+			srv := dox.NewServer(simnet.New(host, rng), cfg)
 			type ent struct {
 				on bool
 				fn func() error
@@ -595,13 +594,11 @@ func (s *Scanner) checkDoX(tgt *Target, proto dox.Protocol) bool {
 	f := sim.NewFuture[result](w, "scan-dox")
 	w.Go(func() {
 		c, err := dox.Connect(proto, dox.Options{
-			Host:       s.Host,
+			Backend:    simnet.New(s.Host, s.Rand),
 			Resolver:   tgt.Addr,
 			ServerName: tgt.Addr.String(),
 			UDPTimeout: s.timeout(),
 			UDPRetries: 0,
-			Rand:       s.Rand,
-			Now:        w.Now,
 		})
 		if err != nil {
 			f.Resolve(result{false})
