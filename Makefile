@@ -65,7 +65,7 @@ bench-smoke:
 
 # determinism diffs representative experiments at -parallel 1 vs 8.
 determinism:
-	@for id in E4 E12 E13 E16 E19 E20 E22 E23 E24; do \
+	@for id in E4 E12 E13 E16 E19 E20 E22 E23 E24 E25 E26 E27; do \
 		go run ./cmd/experiments -id $$id -parallel 1 > /tmp/$$id-p1.txt; \
 		go run ./cmd/experiments -id $$id -parallel 8 > /tmp/$$id-p8.txt; \
 		diff -u /tmp/$$id-p1.txt /tmp/$$id-p8.txt || exit 1; \

@@ -14,6 +14,7 @@
 //	        [-handshake] [-resolve] [-sizes] [-versions]
 //	        [-no-resumption] [-zero-rtt] [-doh3] [-workload] [-cached]
 //	        [-coalesce] [-serve-stale] [-prefetch]
+//	        [-race-transports] [-policy NAME] [-failover]
 //	dnsperf -backend live -server <ip[:port]> [-server-name NAME]
 //	        [-protocols do53,tcp,dot,doh] [-domain NAME]
 //	        [-dot-port N] [-doh-port N] [-insecure]
@@ -51,6 +52,9 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "E22: in-flight query coalescing under aligned stub cohorts")
 	serveStale := flag.Bool("serve-stale", false, "E23: RFC 8767 serve-stale availability across an upstream outage")
 	prefetch := flag.Bool("prefetch", false, "E24: TTL-expiry prefetch of the Zipf head")
+	raceTransports := flag.Bool("race-transports", false, "E25: happy-eyeballs racing ladder under middlebox fault policies")
+	policy := flag.String("policy", "", "E25: restrict the middlebox grid to one policy (open, drop-udp-853, reject-udp-853, blackhole-udp, rst-tcp-853); implies -race-transports")
+	failover := flag.Bool("failover", false, "E27: multi-upstream failover through a primary-resolver outage")
 	backend := flag.String("backend", "sim", "netapi backend: sim (deterministic campaigns) or live (real sockets)")
 	server := flag.String("server", "", "live target resolver, ip or ip:port (required with -backend live)")
 	serverName := flag.String("server-name", "", "live TLS server name (default: the server address)")
@@ -123,6 +127,14 @@ func main() {
 	}
 	if *prefetch {
 		ids = append(ids, "E24")
+	}
+	if *raceTransports || *policy != "" {
+		cfg.RacingPolicy = *policy
+		runner = experiments.NewRunner(cfg)
+		ids = append(ids, "E25")
+	}
+	if *failover {
+		ids = append(ids, "E27")
 	}
 	if len(ids) == 0 {
 		ids = []string{"E3", "E4", "E5", "E6"}

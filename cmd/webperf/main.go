@@ -12,6 +12,7 @@
 //
 //	webperf [-resolvers N] [-loads N] [-pages N] [-seed N] [-parallel N]
 //	        [-fcp] [-plt] [-grid] [-dot-fixed] [-doh3] [-warm-cache]
+//	        [-migrate]
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	dotFixed := flag.Bool("dot-fixed", false, "E12 ablation: DoT proxy bug vs fix")
 	doh3 := flag.Bool("doh3", false, "E15: PLT grid with DoH3 baseline")
 	warmCache := flag.Bool("warm-cache", false, "E18: PLT grid under a warm shared (stub) cache")
+	migrate := flag.Bool("migrate", false, "E26: PLT with a mid-load wifi-to-4g flip (QUIC migration vs TCP reconnect)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -67,6 +69,9 @@ func main() {
 	}
 	if *warmCache {
 		ids = append(ids, "E18")
+	}
+	if *migrate {
+		ids = append(ids, "E26")
 	}
 	if len(ids) == 0 {
 		ids = []string{"E7", "E8", "E9"}

@@ -113,6 +113,13 @@ type Config struct {
 	RateLimitQPS float64
 	// RateLimitBurst is the bucket depth (default 4).
 	RateLimitBurst int
+
+	// RetryUpstream retries a failed upstream exchange once over a
+	// fresh session, as production forwarders do when a reused
+	// connection dies under a query (an access-network flip being the
+	// canonical cause, E26). Default false: the paper-reproduction
+	// experiments surface transport errors as-is.
+	RetryUpstream bool
 }
 
 // waiter is one stub endpoint awaiting a coalesced exchange: where to
@@ -177,6 +184,8 @@ type Proxy struct {
 	Revalidations    int // stale entries refreshed after upstream recovery
 	Prefetches       int // hot-name refreshes issued before expiry
 	Refused          int // queries rejected by the rate limiter
+	UpstreamRetries  int // exchanges retried over a fresh session
+	Migrations       int // upstream connections that survived a link flip
 
 	// StaleAge sketches the staleness (age past expiry) of every
 	// stale-served answer, for the E23 staleness CDF. Nil unless
@@ -395,6 +404,20 @@ func (p *Proxy) exchange(q *dnsmsg.Message, internal bool) *dnsmsg.Message {
 	p.qid++
 	q.ID = p.qid
 	resp, err := client.Query(q)
+	if err != nil && p.cfg.RetryUpstream && !transient && !p.closed {
+		// The session died under the query (the access network flipped,
+		// the peer reset): retry once over a fresh session. Only the
+		// first failing exchange resets the shared primary — a
+		// concurrent flight that failed with it finds the replacement
+		// already in place and must not tear it down again.
+		if p.primary == client {
+			p.ResetSessions()
+		}
+		if rc, _, rerr := p.client(); rerr == nil {
+			p.UpstreamRetries++
+			resp, err = rc.Query(q)
+		}
+	}
 	q.ID = orig
 	if transient {
 		client.Close()
@@ -649,6 +672,48 @@ func (p *Proxy) ResetSessions() {
 		c.Close()
 	}
 	p.ephemeral = nil
+}
+
+// Prime establishes the primary upstream session without sending a
+// query, as a long-lived stub proxy would have from prior traffic.
+// With resumption state remembered, this is a resumed handshake.
+func (p *Proxy) Prime() error {
+	_, _, err := p.client()
+	return err
+}
+
+// MigrateUpstream moves the upstream session to a new access network
+// (the vantage's link flipped, e.g. wifi to cellular). QUIC upstreams
+// (DoQ, DoH3) migrate the live connection — one PATH_CHALLENGE round
+// trip, no re-handshake; TCP-based upstreams are bound to the dead
+// 4-tuple, so their sessions are torn down and the next query pays a
+// fresh (resumed) handshake. Reports whether the connection survived.
+func (p *Proxy) MigrateUpstream() (migrated bool, err error) {
+	if p.primary == nil {
+		return false, nil
+	}
+	if m, ok := p.primary.(dox.Migrator); ok {
+		if err := m.Migrate(); err != nil {
+			// Path validation failed: fall back to reconnecting.
+			p.ResetSessions()
+			return false, err
+		}
+		p.Migrations++
+		return true, nil
+	}
+	// TCP-based sessions are bound to the dead 4-tuple. Abort them:
+	// the peer's in-flight bytes can never reach the old address, so a
+	// graceful close (which would let them drain) mismodels the flip.
+	if a, ok := p.primary.(dox.Aborter); ok {
+		a.Abort()
+	}
+	for _, c := range p.ephemeral {
+		if a, ok := c.(dox.Aborter); ok {
+			a.Abort()
+		}
+	}
+	p.ResetSessions()
+	return false, nil
 }
 
 // UpstreamMetrics exposes the current upstream session's metrics (nil

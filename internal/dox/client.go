@@ -40,6 +40,26 @@ type Client interface {
 	Close()
 }
 
+// Migrator is the optional interface of clients whose transport can
+// follow the stub to a new access network without re-handshaking. Only
+// the QUIC transports (DoQ, DoH3) implement it: QUIC validates the new
+// path with PATH_CHALLENGE and keeps the connection, while TCP-based
+// sessions are bound to the old 4-tuple and must reconnect.
+type Migrator interface {
+	// Migrate moves the session to a fresh local endpoint and blocks
+	// until the server validates the new path (about one RTT).
+	Migrate() error
+}
+
+// Aborter is the optional interface of clients whose session can be
+// torn down abortively, failing in-flight queries at once. The
+// TCP-based transports (DoT, DoH) implement it: when the access network
+// changes the old 4-tuple is dead, the peer's in-flight bytes can never
+// arrive, and waiting out a graceful close would pretend otherwise.
+type Aborter interface {
+	Abort()
+}
+
 // Options configures a client session.
 type Options struct {
 	// Backend supplies sockets, TLS, timers, clock and randomness. Use
@@ -63,10 +83,17 @@ type Options struct {
 	// verify (livenet); the sim backend's certificates are modeled.
 	InsecureTLS bool
 
-	// UDPTimeout is the stub's application-layer retransmission timeout
-	// (resolv.conf default: 5 seconds). UDPRetries caps retransmissions.
+	// UDPTimeout is the stub's initial application-layer retransmission
+	// timeout (resolv.conf default: 5 seconds). UDPRetries caps
+	// retransmissions, and UDPBackoff multiplies the per-attempt timeout
+	// after each unanswered attempt (resolv.conf-style exponential
+	// backoff). The default backoff of 1 keeps the classic flat
+	// schedule — a lossy first datagram costs the full UDPTimeout —
+	// while a resilience-minded stub sets a short UDPTimeout with
+	// UDPBackoff 2 and bounds the total wait without giving up retries.
 	UDPTimeout time.Duration
 	UDPRetries int
+	UDPBackoff float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -94,6 +121,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.UDPRetries == 0 {
 		v.UDPRetries = 2
+	}
+	if v.UDPBackoff == 0 {
+		v.UDPBackoff = 1
 	}
 	if len(v.DoQALPNs) == 0 {
 		v.DoQALPNs = AllDoQALPNs()
@@ -164,6 +194,10 @@ type udpClient struct {
 	mu      sync.Locker
 	pending map[uint16]*netapi.Future[*dnsmsg.Message]
 	closed  bool
+	// refused is set when the network actively rejects the resolver port
+	// (ICMP-style unreachable from a middlebox policy): further
+	// retransmissions are pointless, so Query fails fast.
+	refused bool
 }
 
 func newUDPClient(o Options) (*udpClient, error) {
@@ -191,6 +225,13 @@ func (c *udpClient) readLoop() {
 			c.mu.Unlock()
 			return
 		}
+		if d.Reject {
+			c.mu.Lock()
+			c.refused = true
+			failPending(c.pending)
+			c.mu.Unlock()
+			continue
+		}
 		resp, err := dnsmsg.Decode(d.Payload)
 		c.sock.Pool().Put(d.Payload) // Decode copies everything it keeps
 		if err != nil {
@@ -217,24 +258,34 @@ func (c *udpClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 	defer func() { c.inFlight-- }()
 	wire := q.Encode()
 	var resp *dnsmsg.Message
+	refused := false
+	timeout := c.o.UDPTimeout
 	for attempt := 0; attempt <= c.o.UDPRetries; attempt++ {
 		f := netapi.NewFuture[*dnsmsg.Message](c.o.Backend, "doudp-query")
 		c.mu.Lock()
 		c.pending[q.ID] = f
 		c.mu.Unlock()
 		c.sock.Send(c.raddr, append([]byte(nil), wire...))
-		r, ok := f.WaitTimeout(c.o.UDPTimeout)
+		r, ok := f.WaitTimeout(timeout)
 		if ok {
 			resp = r
 			break
 		}
 		c.mu.Lock()
 		delete(c.pending, q.ID)
+		refused = c.refused
 		c.mu.Unlock()
+		if refused {
+			break
+		}
+		timeout = time.Duration(float64(timeout) * c.o.UDPBackoff)
 	}
 	tx, rx := c.sock.Snapshot()
 	c.m.QueryTx, c.m.QueryRx = tx-txBefore, rx-rxBefore
 	if resp == nil {
+		if refused {
+			return nil, errors.New("dox: DoUDP refused (port unreachable)")
+		}
 		return nil, errors.New("dox: DoUDP query timed out")
 	}
 	return resp, nil
@@ -462,6 +513,18 @@ func (c *dotClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 
 func (c *dotClient) Metrics() *Metrics { return &c.m }
 func (c *dotClient) InFlight() int     { return c.inFlight }
+
+// Abort kills the session without a close exchange (Aborter); pending
+// queries fail through the read loop's failPending.
+func (c *dotClient) Abort() {
+	c.closed = true
+	if a, ok := c.tls.(Aborter); ok {
+		a.Abort()
+		return
+	}
+	c.tls.Close()
+}
+
 func (c *dotClient) Close() {
 	if !c.closed {
 		c.closed = true
@@ -476,6 +539,7 @@ type dohClient struct {
 	h2c      *h2.ClientConn
 	hrt      httpRoundTripper // real-HTTP path (livenet); nil on sim
 	raddr    netip.AddrPort
+	tlsc     netapi.TLSConn // h2's transport, for abortive teardown
 	tlsStats func() (int, int)
 	m        Metrics
 	inFlight int
@@ -498,7 +562,7 @@ func newDoHClient(o Options) (*dohClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &dohClient{o: o, h2c: h2c, raddr: raddr, tlsStats: tlsConn.Stats}
+	c := &dohClient{o: o, h2c: h2c, raddr: raddr, tlsc: tlsConn, tlsStats: tlsConn.Stats}
 	c.m.HandshakeTime = o.Backend.Now() - start
 	c.m.HandshakeTx, c.m.HandshakeRx = tlsConn.Stats()
 	c.m.TLSVersion = tlsConn.TLSVersion()
@@ -546,6 +610,18 @@ func (c *dohClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 
 func (c *dohClient) Metrics() *Metrics { return &c.m }
 func (c *dohClient) InFlight() int     { return c.inFlight }
+
+// Abort kills the transport under the HTTP/2 session (Aborter); the h2
+// read loop fails pending round trips when its stream breaks.
+func (c *dohClient) Abort() {
+	if a, ok := c.tlsc.(Aborter); ok {
+		c.closed = true
+		a.Abort()
+		return
+	}
+	c.Close()
+}
+
 func (c *dohClient) Close() {
 	if !c.closed {
 		c.closed = true
@@ -661,6 +737,9 @@ func (c *doqClient) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 
 // Token returns the address-validation token the server issued.
 func (c *doqClient) Token() []byte { return c.conn.NewToken() }
+
+// Migrate moves the DoQ session to a new local address (Migrator).
+func (c *doqClient) Migrate() error { return c.conn.Migrate() }
 
 func (c *doqClient) Metrics() *Metrics { return &c.m }
 func (c *doqClient) InFlight() int     { return c.inFlight }
@@ -782,6 +861,9 @@ func (c *doh3Client) Query(q *dnsmsg.Message) (*dnsmsg.Message, error) {
 
 // Token returns the address-validation token the server issued.
 func (c *doh3Client) Token() []byte { return c.conn.NewToken() }
+
+// Migrate moves the DoH3 session to a new local address (Migrator).
+func (c *doh3Client) Migrate() error { return c.conn.Migrate() }
 
 func (c *doh3Client) Metrics() *Metrics { return &c.m }
 func (c *doh3Client) InFlight() int     { return c.inFlight }

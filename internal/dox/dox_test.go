@@ -268,6 +268,83 @@ func TestDoUDPRetransmitAfter5s(t *testing.T) {
 	}
 }
 
+// TestDoUDPBackoffBoundsLossPenalty is the regression test for the
+// resolv.conf-style retransmission knobs: with a short initial timeout
+// and exponential backoff, a lossy first datagram costs ~UDPTimeout,
+// not the classic 5 seconds.
+func TestDoUDPBackoffBoundsLossPenalty(t *testing.T) {
+	rtt := 40 * time.Millisecond
+	e := newEnv(t, 11, rtt, 0, nil)
+	// Deterministically eat the first datagram: 100% loss until well
+	// after the first send, clean afterwards so the 500ms retransmission
+	// gets through.
+	n := e.client.Network()
+	n.SetPathSchedule(e.client.Addr(), e.server.Addr(), []netem.PathStep{
+		{At: 0, Params: netem.PathParams{Delay: rtt / 2, Loss: 1}},
+		{At: 250 * time.Millisecond, Params: netem.PathParams{Delay: rtt / 2}},
+	})
+	var resolve time.Duration
+	e.w.Go(func() {
+		o := e.opts()
+		o.UDPTimeout = 500 * time.Millisecond
+		o.UDPBackoff = 2
+		c, err := Connect(DoUDP, o)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		q := dnsmsg.NewQuery(17, "google.com", dnsmsg.TypeA)
+		start := e.w.Now()
+		if _, err := c.Query(&q); err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		resolve = e.w.Now() - start
+		c.Close()
+	})
+	e.w.Run()
+	want := 500*time.Millisecond + rtt
+	if resolve < 500*time.Millisecond || resolve > want+20*time.Millisecond {
+		t.Errorf("resolve = %v, want ~%v (one 500ms backoff step + RTT)", resolve, want)
+	}
+}
+
+// TestDoUDPRejectFailsFast verifies the middlebox-rejection path: a
+// policy that actively rejects UDP/53 makes the stub fail in about one
+// RTT instead of burning the full retransmission ladder.
+func TestDoUDPRejectFailsFast(t *testing.T) {
+	rtt := 40 * time.Millisecond
+	e := newEnv(t, 12, rtt, 0, nil)
+	e.client.Network().SetPolicy(e.client.Addr(), e.server.Addr(), netem.Policy{
+		BlockUDPPorts: []uint16{PortDoUDP},
+		Reject:        true,
+	})
+	var elapsed time.Duration
+	var qerr error
+	e.w.Go(func() {
+		c, err := Connect(DoUDP, e.opts())
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		q := dnsmsg.NewQuery(18, "google.com", dnsmsg.TypeA)
+		start := e.w.Now()
+		_, qerr = c.Query(&q)
+		elapsed = e.w.Now() - start
+		c.Close()
+	})
+	e.w.Run()
+	if qerr == nil {
+		t.Fatal("query succeeded through a rejecting middlebox")
+	}
+	if qerr.Error() != "dox: DoUDP refused (port unreachable)" {
+		t.Errorf("error = %v, want port-unreachable refusal", qerr)
+	}
+	if elapsed > rtt+10*time.Millisecond {
+		t.Errorf("refusal took %v, want ~%v (one RTT, no timeout wait)", elapsed, rtt)
+	}
+}
+
 func TestDoQDraftFramings(t *testing.T) {
 	for _, alpn := range []string{"doq", "doq-i03", "doq-i02", "doq-i00"} {
 		alpn := alpn

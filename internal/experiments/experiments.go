@@ -53,6 +53,9 @@ type Config struct {
 	// genuinely lossless configuration uses resolver.NoLoss (E17 builds
 	// its clean cached baseline that way regardless of this knob).
 	Loss float64
+	// RacingPolicy restricts E25's middlebox grid to one named policy
+	// from measure.MiddleboxPolicies (empty = the full grid).
+	RacingPolicy string
 	// Parallelism sizes the campaign worker pools and the number of
 	// experiments RunAll executes concurrently (0 = GOMAXPROCS). It
 	// scales wall time only: campaign shard plans and seeds never depend
@@ -277,6 +280,9 @@ func All() []Experiment {
 		{ID: "E22", Artifact: "§6 coalescing", About: "in-flight query coalescing: upstream-QPS reduction and tail latency under aligned cohorts", Run: runE22},
 		{ID: "E23", Artifact: "§6 serve-stale", About: "RFC 8767 availability and answer-staleness CDF across a scheduled upstream outage", Run: runE23},
 		{ID: "E24", Artifact: "§6 prefetch", About: "TTL-expiry prefetch of the Zipf head: stub hit-ratio and p95 resolve lift", Run: runE24},
+		{ID: "E25", Artifact: "§7 racing", About: "happy-eyeballs transport racing per middlebox policy: fallback penalty and winning transport", Run: runE25},
+		{ID: "E26", Artifact: "§7 migration", About: "PLT with a mid-load wifi-to-4g flip: QUIC connection migration vs TCP reconnect", Run: runE26},
+		{ID: "E27", Artifact: "§7 failover", About: "availability through a primary-resolver outage: pinned vs multi-upstream failover", Run: runE27},
 	}
 }
 

@@ -19,6 +19,7 @@ var backendConsumerPkgNames = map[string]bool{
 	"dox":      true,
 	"h2":       true,
 	"h3":       true,
+	"racing":   true,
 }
 
 // BackendPurity enforces the backend seam at the import graph.

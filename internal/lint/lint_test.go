@@ -40,6 +40,7 @@ func TestBackendPurity(t *testing.T) {
 		"repro/internal/netapi/livenet",
 		"repro/internal/netapi/simnet",
 		"repro/internal/dox",
+		"repro/internal/racing",
 	)
 }
 

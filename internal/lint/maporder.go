@@ -29,6 +29,17 @@ var simScheduleMethods = map[string]bool{
 	"Go": true, "GoCall": true, "AfterFunc": true, "AfterCall": true, "Push": true,
 }
 
+// netapiWakeMethods are backend-seam calls that schedule or wake work
+// in call order: the Runtime spawn/timer surface plus Future and Event
+// completion, which wake parked tasks. Backend-seam consumers (dox,
+// racing) hit the same PR 1 wakeup-bug shape through the seam that
+// kernel code hits through sim.World — failing a pending-query map in
+// range order wakes tasks in map order.
+var netapiWakeMethods = map[string]bool{
+	"Go": true, "GoCall": true, "AfterFunc": true,
+	"Resolve": true, "Fail": true, "Complete": true,
+}
+
 var writerMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 	"Add": true, // report.Table.Add builds output rows in call order
@@ -169,6 +180,8 @@ func reportOrderedSink(pass *analysis.Pass, call *ast.CallExpr) {
 	switch {
 	case isSimPkgPath(pkgPath) && simScheduleMethods[f.Name()]:
 		pass.Reportf(call.Pos(), "%s.%s inside map iteration schedules simulation work in nondeterministic order (the PR 1 wakeup-bug shape); collect and sort first", named.Obj().Name(), f.Name())
+	case isNetapiPkgPath(pkgPath) && netapiWakeMethods[f.Name()]:
+		pass.Reportf(call.Pos(), "%s.%s inside map iteration schedules or wakes backend work in nondeterministic order (the PR 1 wakeup-bug shape); collect and sort first", named.Obj().Name(), f.Name())
 	case writerMethods[f.Name()] && writesInCallOrder(pkgPath, named.Obj().Name(), f.Name()):
 		pass.Reportf(call.Pos(), "%s.%s inside map iteration emits output in nondeterministic order; iterate sorted keys (report.SortedKeys)", named.Obj().Name(), f.Name())
 	}

@@ -58,6 +58,13 @@ func isSimPkgPath(path string) bool {
 	return isInternalPkg(path) && segs[len(segs)-1] == "sim"
 }
 
+// isNetapiPkgPath reports whether path is the backend-seam package
+// (last segment exactly "netapi" under an internal tree).
+func isNetapiPkgPath(path string) bool {
+	segs := pathSegments(path)
+	return isInternalPkg(path) && segs[len(segs)-1] == "netapi"
+}
+
 // isBytepoolPath reports whether path is the byte-pool package.
 func isBytepoolPath(path string) bool {
 	segs := pathSegments(path)

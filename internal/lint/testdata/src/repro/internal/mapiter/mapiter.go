@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/netapi"
 	"repro/internal/sim"
 )
 
@@ -95,4 +96,32 @@ func AllowedAppend(m map[string]int) []string {
 		keys = append(keys, k) //simlint:allow maporder single caller sorts the slice after merging shards
 	}
 	return keys
+}
+
+// FailPendingUnsorted is the racing/dox pending-map shape seen through
+// the backend seam: failing futures in map order wakes tasks in map
+// order, exactly like the sim.World case above.
+func FailPendingUnsorted(pending map[uint16]*netapi.Future[int]) {
+	for _, f := range pending {
+		f.Fail() // want `Future\.Fail inside map iteration schedules or wakes backend work`
+	}
+}
+
+func SpawnThroughSeam(rt netapi.Runtime, waiting map[string]func()) {
+	for _, fn := range waiting {
+		rt.Go(fn) // want `Runtime\.Go inside map iteration schedules or wakes backend work`
+	}
+}
+
+// FailPendingSorted is the sanctioned idiom (dox.failPending): wake in
+// ascending key order.
+func FailPendingSorted(pending map[uint16]*netapi.Future[int]) {
+	keys := make([]uint16, 0, len(pending))
+	for id := range pending {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, id := range keys {
+		pending[id].Fail()
+	}
 }

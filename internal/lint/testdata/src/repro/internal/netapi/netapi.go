@@ -4,3 +4,9 @@ package netapi
 type Runtime interface {
 	Go(fn func())
 }
+
+// Future is a fixture stand-in for the seam's one-shot result.
+type Future[T any] struct{ v T }
+
+func (f *Future[T]) Resolve(v T) {}
+func (f *Future[T]) Fail()       {}

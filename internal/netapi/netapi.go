@@ -97,6 +97,12 @@ type Group interface {
 type Packet struct {
 	Src     netip.AddrPort
 	Payload []byte
+	// Reject marks an active network rejection (ICMP-style unreachable)
+	// instead of a payload: Payload is nil, and the receiver should fail
+	// in-flight operations toward Src immediately rather than waiting
+	// for a timeout. Only backends with a middlebox model (simnet over
+	// netem policies) ever set it.
+	Reject bool
 }
 
 // PacketConn is an unconnected datagram socket.

@@ -147,12 +147,12 @@ func (c *packetConn) Send(dst netip.AddrPort, payload []byte) {
 
 func (c *packetConn) Recv() (netapi.Packet, bool) {
 	d, ok := c.sock().Recv()
-	return netapi.Packet{Src: d.Src, Payload: d.Payload}, ok
+	return netapi.Packet{Src: d.Src, Payload: d.Payload, Reject: d.Reject}, ok
 }
 
 func (c *packetConn) RecvTimeout(d time.Duration) (netapi.Packet, bool) {
 	dg, ok := c.sock().RecvTimeout(d)
-	return netapi.Packet{Src: dg.Src, Payload: dg.Payload}, ok
+	return netapi.Packet{Src: dg.Src, Payload: dg.Payload, Reject: dg.Reject}, ok
 }
 
 func (c *packetConn) Snapshot() (tx, rx int) { return c.sock().Snapshot() }
@@ -194,7 +194,12 @@ type tlsConn struct {
 	tcp *tcpsim.Conn
 }
 
-func (c *tlsConn) Stats() (tx, rx int)        { return c.tcp.Stats() }
+func (c *tlsConn) Stats() (tx, rx int) { return c.tcp.Stats() }
+
+// Abort kills the transport under the TLS session without a close
+// exchange, failing in-flight reads immediately (asserted by dox when
+// an access-network change strands the 4-tuple).
+func (c *tlsConn) Abort()                     { c.tcp.Abort() }
 func (c *tlsConn) RemoteAddr() netip.AddrPort { return c.tcp.RemoteAddr() }
 func (c *tlsConn) TLSVersion() tlsmini.Version {
 	return c.Conn.Engine().NegotiatedVersion()

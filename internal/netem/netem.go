@@ -107,6 +107,11 @@ type Datagram struct {
 	Proto    Proto
 	Src, Dst netip.AddrPort
 	Payload  []byte
+	// Reject marks a synthetic middlebox notification (an ICMP-style
+	// unreachable for UDP, an injected RST for TCP) rather than a real
+	// payload: Payload is nil and byte counters ignore it. Transports
+	// surface it as an immediate connection-refused/reset.
+	Reject bool
 }
 
 // Drops counts dropped datagrams by cause. The split matters for
@@ -122,10 +127,20 @@ type Drops struct {
 	NoRoute int
 	// Overflow counts bottleneck-queue tail drops.
 	Overflow int
+	// Blocked counts silent middlebox-policy drops (port blocks and UDP
+	// blackholes without active rejection).
+	Blocked int
+	// Rejected counts middlebox-policy drops that actively notified the
+	// sender (ICMP-style reject, injected RST).
+	Rejected int
+	// Clamped counts datagrams over a policy's ClampMTU.
+	Clamped int
 }
 
 // Total sums all causes.
-func (d Drops) Total() int { return d.Loss + d.MTU + d.NoRoute + d.Overflow }
+func (d Drops) Total() int {
+	return d.Loss + d.MTU + d.NoRoute + d.Overflow + d.Blocked + d.Rejected + d.Clamped
+}
 
 // Network is the root object: a set of hosts and the paths between them.
 type Network struct {
@@ -138,6 +153,13 @@ type Network struct {
 	links       map[pathKey]*linkState
 	access      map[netip.Addr]*accessLink
 	rng         *rand.Rand
+
+	// Middlebox policies (see policy.go). Both maps empty is the common
+	// case: send() skips the policy lookup entirely, so campaigns that
+	// install no policies draw exactly the same rng stream as before the
+	// policy layer existed.
+	policies        map[pathKey]Policy
+	policySchedules map[pathKey][]PolicyStep
 
 	// In-flight datagram pool and the two timer callbacks bound once at
 	// construction: a datagram's delivery timers then allocate neither a
@@ -208,6 +230,9 @@ func NewNetwork(w *sim.World) *Network {
 		links:       make(map[pathKey]*linkState),
 		access:      make(map[netip.Addr]*accessLink),
 		rng:         rand.New(rand.NewSource(w.Rand().Int63())),
+
+		policies:        make(map[pathKey]Policy),
+		policySchedules: make(map[pathKey][]PolicyStep),
 	}
 	n.arriveFn = func(a any) { n.arrive(a.(*inflight)) }
 	n.deliverFn = func(a any) { n.deliverInflight(a.(*inflight)) }
@@ -495,6 +520,9 @@ func (n *Network) send(d Datagram, wire int) {
 	src, dst := d.Src.Addr(), d.Dst.Addr()
 	key := pathKey{src, dst}
 	p := n.PathAt(src, dst, now)
+	if n.havePolicies() && n.policyDrop(key, d, p.Delay, now) {
+		return
+	}
 	mtu := p.MTU
 	if mtu == 0 {
 		mtu = DefaultMTU
@@ -585,17 +613,25 @@ func (n *Network) deliverInflight(fl *inflight) {
 func (n *Network) deliver(d Datagram) {
 	host, ok := n.hosts[d.Dst.Addr()]
 	if !ok {
+		if d.Reject {
+			return // a notification to a vanished sender is not a drop
+		}
 		n.Drops.NoRoute++
 		n.pool.Put(d.Payload)
 		return
 	}
 	sock, ok := host.ports[portKey{d.Proto, d.Dst.Port()}]
 	if !ok {
+		if d.Reject {
+			return
+		}
 		n.Drops.NoRoute++
 		n.pool.Put(d.Payload)
 		return
 	}
-	n.Delivered++
+	if !d.Reject {
+		n.Delivered++
+	}
 	sock.deliver(d)
 }
 
@@ -715,8 +751,10 @@ func (s *Socket) deliver(d Datagram) {
 		s.host.net.pool.Put(d.Payload)
 		return
 	}
-	s.RxBytes += len(d.Payload) + s.overhead
-	s.RxDatagrams++
+	if !d.Reject {
+		s.RxBytes += len(d.Payload) + s.overhead
+		s.RxDatagrams++
+	}
 	s.queue.Push(d)
 }
 

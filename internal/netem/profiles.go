@@ -58,6 +58,18 @@ var accessProfiles = []AccessProfile{
 	},
 }
 
+// extraProfiles are named profiles resolvable by ProfileByName but kept
+// out of the Profiles/ProfileNames grid set: the E19/E21 grids iterate
+// that set, and its membership is part of their report shape. "wifi" is
+// the migration scenario's starting link (E26): a home WLAN a notch
+// below fiber, with the light loss of a shared radio.
+var extraProfiles = []AccessProfile{
+	{
+		Name: "wifi", Down: 12.5e6, Up: 5e6, ExtraDelay: 2 * time.Millisecond,
+		Loss: 0.001,
+	},
+}
+
 // Profiles returns the named access profiles, best to worst.
 func Profiles() []AccessProfile {
 	return append([]AccessProfile(nil), accessProfiles...)
@@ -72,9 +84,15 @@ func ProfileNames() []string {
 	return names
 }
 
-// ProfileByName looks a named profile up.
+// ProfileByName looks a named profile up, including the extra profiles
+// outside the grid set.
 func ProfileByName(name string) (AccessProfile, error) {
 	for _, p := range accessProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range extraProfiles {
 		if p.Name == name {
 			return p, nil
 		}

@@ -127,6 +127,18 @@ type Conn struct {
 	isClient bool
 	cfg      Config
 
+	// host lets a dialed client open a replacement socket for
+	// connection migration; nil for server connections.
+	host *netem.Host
+	// prevTx/prevRx accumulate the byte counters of sockets retired by
+	// migration, so Stats spans the connection, not the current path.
+	prevTx, prevRx int
+	// pathChallenge is the outstanding PATH_CHALLENGE payload;
+	// pathValidated resolves when the matching PATH_RESPONSE arrives.
+	pathChallenge [pathDataLen]byte
+	pathValidated *sim.Future[bool]
+	migrations    int
+
 	version uint32
 	scid    []byte
 	dcid    []byte
@@ -269,9 +281,15 @@ func (c *Conn) NewToken() []byte { return c.newToken }
 func (c *Conn) TLSVersion() tlsmini.Version { return c.engine.NegotiatedVersion() }
 
 // Stats returns total IP payload bytes sent and received on this
-// connection's socket (client side; includes the 8-byte UDP header per
-// datagram, matching the paper's accounting).
-func (c *Conn) Stats() (tx, rx int) { return c.sock.TxBytes, c.sock.RxBytes }
+// connection (client side; includes the 8-byte UDP header per
+// datagram, matching the paper's accounting). Counters span sockets
+// retired by Migrate.
+func (c *Conn) Stats() (tx, rx int) {
+	return c.prevTx + c.sock.TxBytes, c.prevRx + c.sock.RxBytes
+}
+
+// Migrations reports how many times the connection migrated paths.
+func (c *Conn) Migrations() int { return c.migrations }
 
 // HandshakeStats returns the bytes exchanged up to handshake completion.
 func (c *Conn) HandshakeStats() (tx, rx int) { return c.hsTx, c.hsRx }
@@ -326,6 +344,10 @@ func (c *Conn) teardown(err error) {
 	c.closeErr = err
 	c.ptoTimer.Stop()
 	c.ptoTimer = sim.Timer{}
+	if c.pathValidated != nil {
+		c.pathValidated.Fail()
+		c.pathValidated = nil
+	}
 	for _, id := range slices.Sorted(maps.Keys(c.streams)) {
 		c.streams[id].shutdown()
 	}
@@ -769,6 +791,15 @@ func (c *Conn) handleFrame(space int, f *frame) {
 		}
 	case frStreamBase:
 		c.processStreamFrame(f)
+	case frPathChallenge:
+		// Echo the payload back to the (possibly just-rebound) peer
+		// address; receiving the echo there validates the path.
+		c.sendInSpace(spcApp, []*frame{{kind: frPathResponse, pathData: f.pathData}})
+	case frPathResponse:
+		if c.pathValidated != nil && f.pathData == c.pathChallenge {
+			c.pathValidated.Resolve(true)
+			c.pathValidated = nil
+		}
 	case frHandshakeDone:
 		// Client may drop handshake keys; nothing further needed here.
 	case frConnClose:
@@ -971,24 +1002,7 @@ func (c *Conn) onPTO() {
 	}
 	resent := false
 	if !ampBlocked {
-		for i, sp := range c.spaces {
-			// Deterministic retransmission order (packet-number order):
-			// map iteration order must not leak into the wire image.
-			pns := slices.Sorted(maps.Keys(sp.sent))
-			var resend []*frame
-			for _, pn := range pns {
-				ent := sp.sent[pn]
-				delete(sp.sent, pn)
-				if len(ent.frames) == 0 {
-					continue
-				}
-				resend = append(resend, ent.frames...)
-			}
-			if len(resend) > 0 {
-				c.sendInSpace(i, resend)
-				resent = true
-			}
-		}
+		resent = c.retransmitUnacked(spcInitial)
 	}
 	if !resent && !c.hsComplete && c.isClient {
 		// Anti-deadlock probe: a padded Initial PING re-validates our
@@ -1002,20 +1016,129 @@ func (c *Conn) onPTO() {
 	c.armPTO()
 }
 
-// recvLoopClient drives a dialed connection from its own socket. The
-// datagram buffer is released once handleDatagram returns: anything the
-// connection keeps from it (buffered undecryptable packets, adopted
-// connection IDs) has been copied by then.
-func (c *Conn) recvLoopClient() {
+// retransmitUnacked re-sends every unacked retransmittable frame across
+// all packet-number spaces, in deterministic packet-number order (map
+// iteration order must not leak into the wire image). Shared by the PTO
+// probe and by path migration, which treats everything in flight toward
+// the retired path as lost (RFC 9000 §9.4) rather than waiting out a
+// probe timeout.
+func (c *Conn) retransmitUnacked(from int) bool {
+	resent := false
+	for i := from; i < len(c.spaces); i++ {
+		sp := c.spaces[i]
+		pns := slices.Sorted(maps.Keys(sp.sent))
+		var resend []*frame
+		for _, pn := range pns {
+			ent := sp.sent[pn]
+			delete(sp.sent, pn)
+			if len(ent.frames) == 0 {
+				continue
+			}
+			resend = append(resend, ent.frames...)
+		}
+		if len(resend) > 0 {
+			c.sendInSpace(i, resend)
+			resent = true
+		}
+	}
+	return resent
+}
+
+// recvLoop drives a dialed connection from one socket; migration
+// retires the socket (ending its loop) and starts a loop on the
+// replacement. The datagram buffer is released once handleDatagram
+// returns: anything the connection keeps from it (buffered
+// undecryptable packets, adopted connection IDs) has been copied by
+// then.
+func (c *Conn) recvLoop(sock *netem.Socket) {
 	for {
-		d, ok := c.sock.Recv()
+		d, ok := sock.Recv()
 		if !ok {
 			return
 		}
+		if d.Reject {
+			// ICMP-style rejection from a middlebox: the peer is
+			// actively unreachable on this path, so fail now rather
+			// than burning the PTO budget.
+			c.teardown(errors.New("quic: connection refused"))
+			return
+		}
 		c.handleDatagram(d)
-		c.sock.Pool().Put(d.Payload)
+		sock.Pool().Put(d.Payload)
 		if c.closed {
 			return
+		}
+	}
+}
+
+// Migrate moves the client end of the connection onto a fresh socket —
+// what a real client does when its access network changes underneath
+// it (RFC 9000 §9). It probes the new path with PATH_CHALLENGE and
+// blocks until the server's PATH_RESPONSE validates it. The session
+// survives: no new handshake, no lost streams — in-flight data is
+// recovered onto the new path by normal loss recovery. This is the
+// structural advantage E26 measures DoQ/DoH3 against the TCP
+// transports, which must reconnect from scratch.
+func (c *Conn) Migrate() error {
+	if !c.isClient || c.host == nil {
+		return errors.New("quic: only dialed client connections migrate")
+	}
+	if c.closed {
+		return errors.New("quic: connection closed")
+	}
+	if !c.hsComplete {
+		return errors.New("quic: cannot migrate during handshake")
+	}
+	old := c.sock
+	sock := c.host.Dial(netem.ProtoUDP, udpOverhead)
+	c.prevTx += old.TxBytes
+	c.prevRx += old.RxBytes
+	c.sock = sock
+	c.w.Go(func() { c.recvLoop(sock) })
+	// Closing the retired socket ends its recv loop; anything still in
+	// flight toward it is recovered by PTO onto the new path.
+	old.Close()
+
+	f := &frame{kind: frPathChallenge}
+	c.cfg.Rand.Read(f.pathData[:])
+	c.pathChallenge = f.pathData
+	validated := sim.NewFuture[bool](c.w, "quic-path-validate")
+	c.pathValidated = validated
+	c.migrations++
+	// Anything in flight toward the retired socket — and any response
+	// headed back to it — is gone with the old path. Recover the
+	// application space onto the new path now instead of stalling
+	// queries behind a probe timeout (RFC 9000 §9.4 lets a sender treat
+	// those as lost). Handshake spaces stay put: a long-header packet
+	// from the unknown address would look like a fresh connection
+	// attempt to the server, not a rebind.
+	c.retransmitUnacked(spcApp)
+	// Probe until the path validates (RFC 9000 §8.2.4). The loss
+	// recovery machinery is not enough here: PATH_RESPONSE is never
+	// retransmitted (§13.3), so once the challenge itself is ACKed a
+	// lost response would strand the wait forever. Re-probe on a
+	// PTO-backoff schedule and abandon the path like any other
+	// unreachable peer.
+	c.sendInSpace(spcApp, []*frame{f})
+	probe := c.pto
+	for attempt := 0; ; attempt++ {
+		if v, ok := validated.WaitTimeout(probe); ok {
+			if !v {
+				return errors.New("quic: path validation failed")
+			}
+			return nil
+		}
+		if c.closed {
+			return errors.New("quic: connection closed")
+		}
+		if attempt >= maxPTOs {
+			c.pathValidated = nil
+			return errors.New("quic: path validation failed")
+		}
+		c.sendInSpace(spcApp, []*frame{{kind: frPathChallenge, pathData: f.pathData}})
+		probe *= 2
+		if probe > maxPTO {
+			probe = maxPTO
 		}
 	}
 }

@@ -13,9 +13,15 @@ const (
 	frCrypto        = 0x06
 	frNewToken      = 0x07
 	frStreamBase    = 0x08 // 0x08..0x0f with OFF/LEN/FIN bits
+	frPathChallenge = 0x1a
+	frPathResponse  = 0x1b
 	frConnClose     = 0x1c
 	frHandshakeDone = 0x1e
 )
+
+// pathDataLen is the fixed PATH_CHALLENGE/PATH_RESPONSE payload size
+// (RFC 9000 §19.17).
+const pathDataLen = 8
 
 // frame is the decoded representation of any supported frame.
 type frame struct {
@@ -36,6 +42,9 @@ type frame struct {
 	// NEW_TOKEN
 	token []byte
 
+	// PATH_CHALLENGE / PATH_RESPONSE (8 opaque bytes)
+	pathData [pathDataLen]byte
+
 	// CONNECTION_CLOSE
 	errorCode uint64
 	reason    string
@@ -55,10 +64,13 @@ func (f *frame) ackEliciting() bool {
 }
 
 // retransmittable reports whether the frame's content must be recovered
-// on loss.
+// on loss. PATH_CHALLENGE is: a migrating endpoint must keep probing
+// the new path until it is validated. PATH_RESPONSE is not — RFC 9000
+// §13.3 forbids retransmitting responses; a lost one is recovered by
+// the peer's retransmitted challenge.
 func (f *frame) retransmittable() bool {
 	switch f.kind {
-	case frCrypto, frNewToken, frHandshakeDone, frPing:
+	case frCrypto, frNewToken, frHandshakeDone, frPing, frPathChallenge:
 		return true
 	case frStreamBase:
 		return true
@@ -101,6 +113,9 @@ func appendFrame(b []byte, f *frame) []byte {
 		b = appendVarint(b, f.offset)
 		b = appendVarint(b, uint64(len(f.data)))
 		return append(b, f.data...)
+	case frPathChallenge, frPathResponse:
+		b = append(b, f.kind)
+		return append(b, f.pathData[:]...)
 	case frConnClose:
 		b = append(b, frConnClose)
 		b = appendVarint(b, f.errorCode)
@@ -125,6 +140,8 @@ func frameWireLen(f *frame) int {
 		return 1 + varintLen(f.offset) + varintLen(uint64(len(f.data))) + len(f.data)
 	case frNewToken:
 		return 1 + varintLen(uint64(len(f.token))) + len(f.token)
+	case frPathChallenge, frPathResponse:
+		return 1 + pathDataLen
 	case frStreamBase:
 		return 1 + varintLen(f.streamID) + varintLen(f.offset) +
 			varintLen(uint64(len(f.data))) + len(f.data)
@@ -248,6 +265,14 @@ func parseFrames(b []byte) ([]*frame, error) {
 			}
 			f.data = append([]byte(nil), b[:ln]...)
 			b = b[ln:]
+			out = append(out, f)
+		case t == frPathChallenge || t == frPathResponse:
+			if len(b) < 1+pathDataLen {
+				return nil, errFrame
+			}
+			f := &frame{kind: t}
+			copy(f.pathData[:], b[1:1+pathDataLen])
+			b = b[1+pathDataLen:]
 			out = append(out, f)
 		case t == frConnClose:
 			b = b[1:]

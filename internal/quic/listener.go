@@ -58,12 +58,13 @@ func DialEarly(host *netem.Host, raddr netip.AddrPort, cfg Config) (*Conn, error
 func dialOnce(host *netem.Host, raddr netip.AddrPort, cfg Config, version uint32, vnHappened bool) *Conn {
 	sock := host.Dial(netem.ProtoUDP, udpOverhead)
 	c := newConn(host.World(), sock, true, raddr, true, cfg, version)
+	c.host = host
 	c.vnHappened = vnHappened
 	if err := c.startClient(); err != nil {
 		c.teardown(err)
 		return c
 	}
-	host.World().Go(c.recvLoopClient)
+	host.World().Go(func() { c.recvLoop(sock) })
 	return c
 }
 
@@ -80,10 +81,15 @@ func pickVersion(offered, supported []uint32) (uint32, bool) {
 
 // Listener accepts QUIC connections on a UDP port.
 type Listener struct {
-	w       *sim.World
-	sock    *netem.Socket
-	cfg     Config
+	w    *sim.World
+	sock *netem.Socket
+	cfg  Config
+	// conns routes datagrams by source address (the fast path); byCID
+	// routes short-header packets from unknown addresses by their
+	// destination connection ID, which is how a migrated client's new
+	// path finds its connection (RFC 9000 §9).
 	conns   map[netip.AddrPort]*Conn
+	byCID   map[string]*Conn
 	acceptQ *sim.Queue[*Conn]
 	closed  bool
 }
@@ -100,6 +106,7 @@ func Listen(host *netem.Host, port uint16, cfg Config) (*Listener, error) {
 		sock:    sock,
 		cfg:     cfg,
 		conns:   make(map[netip.AddrPort]*Conn),
+		byCID:   make(map[string]*Conn),
 		acceptQ: sim.NewQueue[*Conn](host.World(), fmt.Sprintf("quic-listen:%d", port)),
 	}
 	l.w.Go(l.demux)
@@ -128,6 +135,11 @@ func (l *Listener) demux() {
 		if !ok {
 			return
 		}
+		if d.Reject {
+			// Middlebox rejection of one of our sends; a server has no
+			// per-path state worth tearing down for it.
+			continue
+		}
 		l.handleOne(d)
 		// Nothing retains the datagram buffer past handleOne (connections
 		// copy what they keep), so it goes back to the pool here.
@@ -140,9 +152,39 @@ func (l *Listener) handleOne(d netem.Datagram) {
 		conn.handleDatagram(d)
 		return
 	}
-	// New connection attempt: must start with a long-header packet.
 	p, _, _, _, err := parseHeader(d.Payload)
-	if err != nil || p.ptype == ptOneRTT {
+	if err != nil {
+		return
+	}
+	if p.ptype == ptOneRTT {
+		// A short-header packet from an unknown address addressed to a
+		// live connection's CID is a migrated client: rebind the
+		// connection to the new path and let the packet (usually
+		// carrying PATH_CHALLENGE) process normally, so the response
+		// goes to the new address.
+		conn, ok := l.byCID[string(p.dcid)]
+		if !ok {
+			return
+		}
+		if sp := conn.spaces[spcApp]; sp.recvdAny && p.pn <= sp.largest {
+			// A reordered straggler from a retired path must not rebind
+			// the connection backwards (RFC 9000 §9.3 only moves the
+			// path on the highest-numbered non-probing packet). Process
+			// it against the connection's current path.
+			conn.handleDatagram(d)
+			return
+		}
+		delete(l.conns, conn.peer)
+		conn.peer = d.Src
+		l.conns[d.Src] = conn
+		// The path changed under the peer, so anything outstanding
+		// toward the old address — typically a response the migrating
+		// client will otherwise wait a probe timeout for — is lost
+		// (RFC 9000 §9.4). Recover it onto the new path immediately,
+		// mirroring what the migrating client does for its own
+		// application space.
+		conn.retransmitUnacked(spcApp)
+		conn.handleDatagram(d)
 		return
 	}
 	if !versionSupported(l.cfg.versions(), p.version) {
@@ -164,9 +206,13 @@ func (l *Listener) handleOne(d netem.Datagram) {
 	if len(l.cfg.TokenKey) > 0 && validToken(l.cfg.TokenKey, p.token, d.Src.Addr()) {
 		c.validated = true
 	}
-	src := d.Src
-	c.onClose = func() { delete(l.conns, src) }
+	c.onClose = func() {
+		// c.peer tracks migrations, so delete by its current value.
+		delete(l.conns, c.peer)
+		delete(l.byCID, string(c.scid))
+	}
 	l.conns[d.Src] = c
+	l.byCID[string(c.scid)] = c
 	// Hand the connection to Accept immediately so servers can read
 	// 0-RTT stream data before the handshake completes; failed
 	// handshakes tear the connection (and its streams) down.

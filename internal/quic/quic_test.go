@@ -456,6 +456,92 @@ func TestLossRecoveryViaPTO(t *testing.T) {
 	}
 }
 
+func TestConnectionMigration(t *testing.T) {
+	e := newEnv(14, 40*time.Millisecond, 0)
+	l := e.startEchoServer(t, e.serverCfg())
+	var (
+		got1, got2  []byte
+		migrateTime time.Duration
+		migrations  int
+		txAfter     int
+	)
+	e.w.Go(func() {
+		c, err := Dial(e.client, l.Addr(), e.clientCfg())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st := c.OpenStream()
+		st.Write([]byte("before"), true)
+		got1, _ = st.ReadAll()
+		txBefore, _ := c.Stats()
+
+		start := e.w.Now()
+		if err := c.Migrate(); err != nil {
+			t.Errorf("Migrate: %v", err)
+			return
+		}
+		migrateTime = e.w.Now() - start
+		migrations = c.Migrations()
+
+		// The server must have rebound the connection to the new path:
+		// a follow-up request flows over the migrated socket.
+		st2 := c.OpenStream()
+		st2.Write([]byte("after"), true)
+		got2, _ = st2.ReadAll()
+		txAfter, _ = c.Stats()
+		if txAfter <= txBefore {
+			t.Errorf("Stats did not accumulate across migration: before %d, after %d", txBefore, txAfter)
+		}
+		c.Close()
+	})
+	e.w.Run()
+	if !bytes.Equal(got1, []byte("echo:before")) {
+		t.Errorf("pre-migration echo: got %q", got1)
+	}
+	if !bytes.Equal(got2, []byte("echo:after")) {
+		t.Errorf("post-migration echo: got %q", got2)
+	}
+	if migrations != 1 {
+		t.Errorf("Migrations() = %d, want 1", migrations)
+	}
+	// Path validation is one round trip of PATH_CHALLENGE/PATH_RESPONSE.
+	if migrateTime < e.rtt || migrateTime > e.rtt+10*time.Millisecond {
+		t.Errorf("migration took %v, want ~%v (1 RTT)", migrateTime, e.rtt)
+	}
+}
+
+func TestMigrationSurvivesChallengeLoss(t *testing.T) {
+	// Even when packets on the new path are lost, the PTO machinery
+	// retransmits PATH_CHALLENGE until validation completes.
+	e := newEnv(15, 30*time.Millisecond, 0.15)
+	l := e.startEchoServer(t, e.serverCfg())
+	success := 0
+	const attempts = 10
+	e.w.Go(func() {
+		for i := 0; i < attempts; i++ {
+			c, err := Dial(e.client, l.Addr(), e.clientCfg())
+			if err != nil {
+				continue
+			}
+			if err := c.Migrate(); err != nil {
+				c.Close()
+				continue
+			}
+			st := c.OpenStream()
+			st.Write([]byte("q"), true)
+			if resp, ok := st.ReadAll(); ok && bytes.Equal(resp, []byte("echo:q")) {
+				success++
+			}
+			c.Close()
+		}
+	})
+	e.w.Run()
+	if success < attempts*7/10 {
+		t.Errorf("only %d/%d migrated queries succeeded under 15%% loss", success, attempts)
+	}
+}
+
 func TestDraftVersionsWork(t *testing.T) {
 	for _, v := range []uint32{Version1, VersionDraft34, VersionDraft32, VersionDraft29} {
 		e := newEnv(12, 20*time.Millisecond, 0)

@@ -181,6 +181,12 @@ func Dial(host *netem.Host, raddr netip.AddrPort) (*Conn, error) {
 			rto *= 2
 			continue
 		}
+		if d.Reject {
+			// Middlebox rejected the SYN (administratively prohibited):
+			// fail fast instead of burning the retransmit budget.
+			sock.Close()
+			return nil, errors.New("tcpsim: connection refused")
+		}
 		seg, err := decodeSegment(d.Payload)
 		sock.Pool().Put(d.Payload)
 		if err != nil || seg.flags&(flagSYN|flagACK) != flagSYN|flagACK {
@@ -201,6 +207,12 @@ func (c *Conn) clientLoop() {
 	for {
 		d, ok := c.sock.Recv()
 		if !ok {
+			c.teardown()
+			return
+		}
+		if d.Reject {
+			// A mid-connection rejection (policy flipped on): the path is
+			// administratively dead, so tear down like an RST.
 			c.teardown()
 			return
 		}
@@ -358,6 +370,16 @@ func (c *Conn) Read() ([]byte, bool) { return c.readQ.Pop() }
 // ReadTimeout is Read with a virtual-time deadline.
 func (c *Conn) ReadTimeout(d time.Duration) ([]byte, bool) { return c.readQ.PopTimeout(d) }
 
+// Abort tears the connection down immediately without the FIN exchange:
+// pending and future reads fail at once, and nothing in flight is
+// waited for. This is what the 4-tuple's death looks like from above
+// when the host's address changes underneath it (an access-network
+// flip): the peer's in-flight bytes can never arrive, and the local
+// stack surfaces the break synchronously.
+func (c *Conn) Abort() {
+	c.teardown()
+}
+
 // Close sends FIN and releases resources once the retransmission queue
 // drains. It does not linger waiting for the peer's FIN.
 func (c *Conn) Close() {
@@ -462,6 +484,11 @@ func (l *Listener) demux() {
 			}
 			l.acceptQ.Close()
 			return
+		}
+		if d.Reject {
+			// Rejection notification for one of our sends; the listener
+			// keeps serving other peers.
+			continue
 		}
 		seg, err := decodeSegment(d.Payload)
 		l.sock.Pool().Put(d.Payload)

@@ -49,6 +49,34 @@ func TestHandshakeTakesOneRTT(t *testing.T) {
 	}
 }
 
+func TestDialRefusedByMiddlebox(t *testing.T) {
+	tn := newTestNet(9, netem.PathParams{Delay: 25 * time.Millisecond})
+	l, err := Listen(tn.server, 853)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.n.SetPolicy(tn.client.Addr(), tn.server.Addr(), netem.Policy{
+		BlockTCPPorts: []uint16{853},
+		RSTInject:     true,
+	})
+	var dialErr error
+	var elapsed time.Duration
+	tn.w.Go(func() {
+		start := tn.w.Now()
+		_, dialErr = Dial(tn.client, l.Addr())
+		elapsed = tn.w.Now() - start
+	})
+	tn.w.Run()
+	if dialErr == nil || dialErr.Error() != "tcpsim: connection refused" {
+		t.Fatalf("dial err = %v, want connection refused", dialErr)
+	}
+	// The rejection notification arrives in ~1 RTT, well inside the first
+	// RTO: no retransmit budget is burned.
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("refused dial took %v, want ~1 RTT fast failure", elapsed)
+	}
+}
+
 func TestEchoRoundTrip(t *testing.T) {
 	tn := newTestNet(1, netem.PathParams{Delay: 10 * time.Millisecond})
 	l, _ := Listen(tn.server, 53)
